@@ -1,0 +1,59 @@
+/** Shared helpers for the figure-reproduction benches. */
+
+#ifndef AQSIM_BENCH_BENCH_UTIL_HH
+#define AQSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/args.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+namespace aqsim::bench
+{
+
+/** Standard bench options: --scale, --seed, --csv, --nodes. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    bool csv = false;
+    bool verbose = false;
+
+    static BenchOptions
+    parse(int argc, char **argv,
+          std::vector<std::string> extra_allowed = {})
+    {
+        std::vector<std::string> allowed{"scale", "seed", "csv",
+                                         "verbose"};
+        for (auto &name : extra_allowed)
+            allowed.push_back(name);
+        Args args(argc, argv, allowed);
+        BenchOptions options;
+        options.scale = args.getDouble("scale", options.scale);
+        options.seed = static_cast<std::uint64_t>(
+            args.getInt("seed", static_cast<std::int64_t>(1)));
+        options.csv = args.getBool("csv", false);
+        options.verbose = args.getBool("verbose", false);
+        return options;
+    }
+};
+
+/** Print a titled table as text or CSV. */
+inline void
+emit(const harness::Table &table, const std::string &title, bool csv)
+{
+    if (csv) {
+        table.printCsv(std::cout);
+    } else {
+        std::cout << "\n== " << title << " ==\n";
+        table.print(std::cout);
+    }
+}
+
+} // namespace aqsim::bench
+
+#endif // AQSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: NAS accuracy (left) and speedup (right)
+ * for 2-, 4- and 8-node clusters.
+ *
+ * For every cluster size, the five NAS skeletons (EP, IS, CG, MG, LU)
+ * run under each configuration: fixed quanta of 10/100/1000 us and the
+ * two adaptive settings (dyn 1k 1.03:0.02 and dyn 1k 1.05:0.02), all
+ * against the 1 us deterministic ground truth.
+ *
+ * As in the paper: per-benchmark MOPS are aggregated with a harmonic
+ * mean; the accuracy error is the relative deviation of that aggregate
+ * from the ground truth's; the speedup is total host wall-clock (sum
+ * over the five benchmarks) of the ground truth over the config.
+ *
+ * Expected shape (see EXPERIMENTS.md): error grows with quantum and
+ * with node count (fixed 1000 us is catastrophic at 8 nodes), the
+ * adaptive configs stay within a few percent while reaching a large
+ * fraction of the fixed-1000 us speedup.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+#include "workloads/workload.hh"
+
+using namespace aqsim;
+using namespace aqsim::harness;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv);
+    Harness harness(options.scale, options.seed);
+    const auto nas = workloads::nasWorkloadNames();
+    const std::vector<std::size_t> node_counts{2, 4, 8};
+    auto configs = paperConfigs();
+
+    Table accuracy({"config", "n=2", "n=4", "n=8"});
+    Table speed({"config", "n=2", "n=4", "n=8"});
+
+    // metric[config][nodes] = (harmonic-mean MOPS, total host ns).
+    for (const auto &config : configs) {
+        std::vector<std::string> acc_row{config.label};
+        std::vector<std::string> speed_row{config.label};
+        for (std::size_t nodes : node_counts) {
+            std::vector<double> gt_mops, run_mops;
+            double gt_host = 0.0, run_host = 0.0;
+            for (const auto &workload : nas) {
+                const auto &gt = harness.groundTruth(workload, nodes);
+                auto run = harness.run(workload, nodes, config.spec);
+                gt_mops.push_back(gt.metric);
+                run_mops.push_back(run.metric);
+                gt_host += gt.hostNs;
+                run_host += run.hostNs;
+                if (options.verbose)
+                    std::fprintf(stderr, "%s\n",
+                                 run.summary().c_str());
+            }
+            const double gt_agg = harmonicMean(gt_mops);
+            const double run_agg = harmonicMean(run_mops);
+            const double error =
+                std::abs(run_agg - gt_agg) / gt_agg;
+            const double speedup = gt_host / run_host;
+            acc_row.push_back(fmtPercent(error));
+            speed_row.push_back(fmtSpeedup(speedup));
+        }
+        accuracy.addRow(acc_row);
+        speed.addRow(speed_row);
+    }
+
+    bench::emit(accuracy,
+                "Figure 6 (left): NAS accuracy error vs. 1us ground "
+                "truth (harmonic-mean MOPS)",
+                options.csv);
+    bench::emit(speed,
+                "Figure 6 (right): NAS simulation speedup vs. 1us "
+                "ground truth",
+                options.csv);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the Pareto optimality curve of the
+ * speed/accuracy tradeoff on 8-node clusters.
+ *
+ * Every (configuration x {NAS aggregate, NAMD}) pair becomes a point
+ * (accuracy error, speedup); the bench prints all points, marks the
+ * Pareto-optimal ones, and renders the plane as an ASCII chart
+ * (speedup on a log axis, as in the paper).
+ *
+ * Expected shape: all adaptive configurations lie on or very near the
+ * Pareto front, while coarse fixed quanta buy their speed with
+ * unacceptable error.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hh"
+#include "harness/pareto.hh"
+#include "workloads/workload.hh"
+
+using namespace aqsim;
+using namespace aqsim::harness;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv, {"nodes"});
+    Args args(argc, argv, {"scale", "seed", "csv", "verbose", "nodes"});
+    const auto nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+
+    Harness harness(options.scale, options.seed);
+    const auto nas = workloads::nasWorkloadNames();
+
+    std::vector<TradeoffPoint> points;
+    for (const auto &config : paperConfigs()) {
+        // NAS aggregate point.
+        std::vector<double> gt_mops, run_mops;
+        double gt_host = 0.0, run_host = 0.0;
+        for (const auto &workload : nas) {
+            const auto &gt = harness.groundTruth(workload, nodes);
+            auto run = harness.run(workload, nodes, config.spec);
+            gt_mops.push_back(gt.metric);
+            run_mops.push_back(run.metric);
+            gt_host += gt.hostNs;
+            run_host += run.hostNs;
+        }
+        const double gt_agg = harmonicMean(gt_mops);
+        const double nas_err =
+            std::abs(harmonicMean(run_mops) - gt_agg) / gt_agg;
+        points.push_back(
+            {"NAS " + config.label, nas_err, gt_host / run_host});
+
+        // NAMD point.
+        auto namd = harness.run("namd", nodes, config.spec);
+        points.push_back({"NAMD " + config.label,
+                          harness.error(namd),
+                          harness.speedup(namd)});
+    }
+
+    auto front = paretoFront(points);
+
+    Table table({"point", "accuracy error", "speedup", "pareto"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const bool optimal = isParetoOptimal(points, i);
+        table.addRow({points[i].label, fmtPercent(points[i].error),
+                      fmtSpeedup(points[i].speedup),
+                      optimal ? "*" : ""});
+    }
+    bench::emit(table,
+                "Figure 8: speed vs. accuracy tradeoff, " +
+                    std::to_string(nodes) + " nodes (* = Pareto "
+                    "optimal)",
+                options.csv);
+
+    if (!options.csv) {
+        // ASCII rendering of the tradeoff plane (log-y speedup).
+        std::cout << "\nTradeoff plane (x: accuracy error %, y: "
+                     "speedup, log scale; o=fixed a=adaptive "
+                     "A/O=on the Pareto front):\n";
+        constexpr std::size_t width = 64, height = 16;
+        double max_err = 0.01;
+        double max_speed = 2.0;
+        for (const auto &p : points) {
+            max_err = std::max(max_err, p.error);
+            max_speed = std::max(max_speed, p.speedup);
+        }
+        std::vector<std::string> rows(height,
+                                      std::string(width, ' '));
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto &p = points[i];
+            const auto col = static_cast<std::size_t>(
+                p.error / max_err * static_cast<double>(width - 1));
+            const double frac =
+                std::log10(std::max(1.0, p.speedup)) /
+                std::log10(max_speed);
+            const auto row = height - 1 -
+                             static_cast<std::size_t>(
+                                 frac * static_cast<double>(height - 1));
+            const bool adaptive =
+                p.label.find("dyn") != std::string::npos;
+            char glyph = adaptive ? 'a' : 'o';
+            if (isParetoOptimal(points, i))
+                glyph = adaptive ? 'A' : 'O';
+            rows[row][col] = glyph;
+        }
+        for (std::size_t r = 0; r < height; ++r) {
+            const double frac = static_cast<double>(height - 1 - r) /
+                                static_cast<double>(height - 1);
+            std::printf("%7.1fx |%s\n",
+                        std::pow(10.0, frac * std::log10(max_speed)),
+                        rows[r].c_str());
+        }
+        std::printf("         +%s\n          error: 0%% .. %.0f%%\n",
+                    std::string(width, '-').c_str(), max_err * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the synchronization layer:
+ * policy stepping, controller injection, and whole-cluster quantum
+ * throughput as a function of node count — including the Fig. 5
+ * effect (per-quantum synchronization overhead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/quantum_policy.hh"
+#include "engine/sequential_engine.hh"
+#include "harness/experiment.hh"
+#include "net/network_controller.hh"
+#include "workloads/workload.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+void
+BM_AdaptivePolicyStep(benchmark::State &state)
+{
+    core::AdaptiveQuantumPolicy policy({});
+    std::uint64_t np = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(policy.next(np));
+        np = (np + 1) % 3;
+    }
+}
+BENCHMARK(BM_AdaptivePolicyStep);
+
+class NullScheduler : public net::DeliveryScheduler
+{
+  public:
+    Tick
+    place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
+    {
+        kind = net::DeliveryKind::OnTime;
+        return pkt->idealArrival;
+    }
+};
+
+void
+BM_ControllerInject(benchmark::State &state)
+{
+    stats::Group root("bench");
+    net::NetworkController controller(16, {}, root);
+    NullScheduler scheduler;
+    controller.setScheduler(&scheduler);
+    Tick t = 0;
+    for (auto _ : state) {
+        auto pkt = net::makePacket(0, 1, 1500, t);
+        pkt->departTick = t;
+        controller.inject(pkt);
+        ++t;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerInject);
+
+/**
+ * End-to-end cluster-simulation throughput: simulated microseconds
+ * per host second, as a function of node count, for a fixed quantum.
+ * Demonstrates the engine itself scales to 64-node clusters.
+ */
+void
+BM_ClusterQuantaThroughput(benchmark::State &state)
+{
+    const auto nodes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto workload = workloads::makeWorkload("burst", nodes, 0.05);
+        auto policy = core::parsePolicy("fixed:10us");
+        auto params = harness::defaultCluster(nodes, 1);
+        engine::SequentialEngine engine;
+        auto result = engine.run(params, *workload, *policy);
+        benchmark::DoNotOptimize(result.simTicks);
+        state.counters["quanta"] =
+            static_cast<double>(result.quanta);
+    }
+}
+BENCHMARK(BM_ClusterQuantaThroughput)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/** Policy comparison at constant workload: runtime of the harness. */
+void
+BM_RunUnderPolicy(benchmark::State &state)
+{
+    const char *specs[] = {"fixed:1us", "fixed:100us",
+                           "dyn:1.03:0.02:1us:1000us"};
+    const char *spec = specs[state.range(0)];
+    for (auto _ : state) {
+        auto workload = workloads::makeWorkload("pingpong", 2, 0.3);
+        auto policy = core::parsePolicy(spec);
+        auto params = harness::defaultCluster(2, 1);
+        engine::SequentialEngine engine;
+        auto result = engine.run(params, *workload, *policy);
+        benchmark::DoNotOptimize(result.hostNs);
+    }
+    state.SetLabel(spec);
+}
+BENCHMARK(BM_RunUnderPolicy)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run one NAS skeleton benchmark on a simulated cluster and compare a
+ * chosen synchronization policy against the 1 us ground truth.
+ *
+ *   $ ./nas_cluster --workload nas.is --nodes 8 \
+ *                   --policy dyn:1.03:0.02:1us:1000us [--scale S]
+ */
+
+#include <cstdio>
+
+#include "base/args.hh"
+#include "harness/experiment.hh"
+
+using namespace aqsim;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv,
+              {"workload", "nodes", "policy", "scale", "seed"});
+    const std::string workload =
+        args.getString("workload", "nas.cg");
+    const auto nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+    const std::string policy =
+        args.getString("policy", "dyn:1.03:0.02:1us:1000us");
+    const double scale = args.getDouble("scale", 1.0);
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    harness::Harness harness(scale, seed);
+
+    std::printf("running %s on %zu nodes (scale %.2f)...\n",
+                workload.c_str(), nodes, scale);
+    const auto &gt = harness.groundTruth(workload, nodes);
+    std::printf("  ground truth : %s\n", gt.summary().c_str());
+
+    auto run = harness.run(workload, nodes, policy);
+    std::printf("  %-13s: %s\n", "this policy", run.summary().c_str());
+
+    std::printf("\nresults vs. ground truth:\n");
+    std::printf("  benchmark metric   : %.4g vs %.4g %s\n", run.metric,
+                gt.metric,
+                run.workload == "namd" ? "seconds" : "MOPS");
+    std::printf("  accuracy error     : %.3f%%\n",
+                100.0 * harness.error(run));
+    std::printf("  simulation speedup : %.1fx\n", harness.speedup(run));
+    std::printf("  sim-time ratio     : %.3f\n",
+                engine::simTimeRatio(run, gt));
+    std::printf("  mean quantum       : %.1f us\n",
+                run.meanQuantumTicks * 1e-3);
+    std::printf("  stragglers         : %llu of %llu packets "
+                "(%.2f%%), %llu snapped to a quantum boundary\n",
+                static_cast<unsigned long long>(run.stragglers),
+                static_cast<unsigned long long>(run.packets),
+                100.0 * run.stragglerFraction(),
+                static_cast<unsigned long long>(
+                    run.nextQuantumDeliveries));
+    return 0;
+}

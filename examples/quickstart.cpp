@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a 2-node cluster, run a ping-pong under three
+ * synchronization policies, and see the speed/accuracy tradeoff.
+ *
+ *   $ ./quickstart [--rounds N] [--bytes B]
+ *
+ * This walks through the core public API: workloads, policies,
+ * cluster parameters and the SequentialEngine.
+ */
+
+#include <cstdio>
+
+#include "base/args.hh"
+#include "core/quantum_policy.hh"
+#include "engine/sequential_engine.hh"
+#include "harness/experiment.hh"
+#include "workloads/synthetic.hh"
+
+using namespace aqsim;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, {"rounds", "bytes"});
+
+    // 1. Describe the guest application: a classic ping-pong.
+    workloads::PingPong::Params app;
+    app.rounds = static_cast<std::size_t>(args.getInt("rounds", 200));
+    app.bytes = static_cast<std::uint64_t>(args.getInt("bytes", 1024));
+
+    // 2. Describe the cluster: the paper's network (10 GB/s NICs,
+    //    1 us minimum latency, perfect switch, 9000 B jumbo frames).
+    auto cluster = harness::defaultCluster(/*num_nodes=*/2);
+
+    std::printf("2-node ping-pong, %zu rounds of %llu bytes\n\n",
+                app.rounds,
+                static_cast<unsigned long long>(app.bytes));
+    std::printf("%-26s %14s %14s %12s\n", "policy", "roundtrip(us)",
+                "host time(s)", "stragglers");
+
+    // 3. Run it under several synchronization policies.
+    double baseline_rtt = 0.0;
+    for (const char *spec :
+         {"fixed:1us",                 // deterministic ground truth
+          "fixed:100us",               // coarse fixed quantum
+          "dyn:1.05:0.02:1us:1000us"}) // the paper's Algorithm 1
+    {
+        workloads::PingPong workload(2, 1.0, app);
+        auto policy = core::parsePolicy(spec);
+        engine::SequentialEngine engine;
+        auto result = engine.run(cluster, workload, *policy);
+
+        const double rtt = workload.meanRoundtripTicks() * 1e-3;
+        if (baseline_rtt == 0.0)
+            baseline_rtt = rtt;
+        std::printf("%-26s %14.2f %14.3f %12llu\n",
+                    policy->name().c_str(), rtt,
+                    result.hostSeconds(),
+                    static_cast<unsigned long long>(
+                        result.stragglers));
+    }
+
+    std::printf(
+        "\nThe 1us quantum equals the minimum network latency, so it"
+        "\nis deterministic but slow. The 100us quantum is fast but"
+        "\ninflates the measured roundtrip (stragglers). The adaptive"
+        "\nquantum collapses on traffic and recovers the roundtrip"
+        "\nnear ground-truth accuracy.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Explore the speed/accuracy tradeoff space for a workload: sweep
+ * fixed quanta and adaptive settings, print every point plus the
+ * Pareto front — an interactive version of the paper's Figure 8.
+ *
+ *   $ ./sweep_explorer --workload nas.cg --nodes 8 [--scale S]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/args.hh"
+#include "harness/experiment.hh"
+#include "harness/pareto.hh"
+#include "harness/report.hh"
+
+using namespace aqsim;
+using harness::Table;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, {"workload", "nodes", "scale", "csv"});
+    const std::string workload =
+        args.getString("workload", "nas.cg");
+    const auto nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+    const double scale = args.getDouble("scale", 0.5);
+    const bool csv = args.getBool("csv", false);
+
+    harness::Harness harness(scale, 1);
+
+    const char *specs[] = {
+        "fixed:2us",   "fixed:5us",   "fixed:10us",  "fixed:30us",
+        "fixed:100us", "fixed:300us", "fixed:1000us",
+        "dyn:1.02:0.02:1us:1000us", "dyn:1.03:0.02:1us:1000us",
+        "dyn:1.05:0.02:1us:1000us", "dyn:1.10:0.02:1us:1000us",
+        "dyn:1.05:0.1:1us:1000us",  "dyn:1.05:0.02:1us:100us",
+    };
+
+    std::vector<harness::TradeoffPoint> points;
+    for (const char *spec : specs) {
+        auto run = harness.run(workload, nodes, spec);
+        points.push_back({run.policy, harness.error(run),
+                          harness.speedup(run)});
+    }
+
+    Table table({"policy", "error", "speedup", "pareto"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        table.addRow({points[i].label,
+                      harness::fmtPercent(points[i].error),
+                      harness::fmtSpeedup(points[i].speedup),
+                      harness::isParetoOptimal(points, i) ? "*" : ""});
+    }
+    if (csv) {
+        table.printCsv(std::cout);
+    } else {
+        std::printf("%s on %zu nodes (scale %.2f): tradeoff sweep\n\n",
+                    workload.c_str(), nodes, scale);
+        table.print(std::cout);
+        std::printf("\n* = Pareto optimal (no config is both more "
+                    "accurate and faster)\n");
+    }
+    return 0;
+}

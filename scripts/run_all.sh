@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure/table plus the
+# ablations, leaving test_output.txt and bench_output.txt in the repo
+# root — the full validation loop for a release.
+#
+# Usage: scripts/run_all.sh [build-dir] [bench-scale]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+scale="${2:-1.0}"
+
+echo "== configure + build =="
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+echo "== tests =="
+ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
+
+echo "== figure and table reproduction =="
+{
+    echo "### fig6_nas (scale $scale)"
+    "$build_dir/bench/fig6_nas" --scale "$scale"
+    echo
+    echo "### fig7_namd (scale $scale)"
+    "$build_dir/bench/fig7_namd" --scale "$scale"
+    echo
+    echo "### fig8_pareto (scale $scale)"
+    "$build_dir/bench/fig8_pareto" --scale "$scale"
+    echo
+    echo "### fig9_scaleout (scale 0.5)"
+    "$build_dir/bench/fig9_scaleout" --scale 0.5
+    echo
+    echo "### ablation_policy (scale 0.5)"
+    "$build_dir/bench/ablation_policy" --scale 0.5
+    echo
+    echo "### micro_kernel"
+    "$build_dir/bench/micro_kernel" --benchmark_min_time=0.05s
+    echo
+    echo "### micro_sync"
+    "$build_dir/bench/micro_sync" --benchmark_min_time=0.05s
+} 2>&1 | tee "$repo_root/bench_output.txt"
+
+echo "done: see test_output.txt and bench_output.txt"

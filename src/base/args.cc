@@ -1,0 +1,103 @@
+#include "base/args.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace aqsim
+{
+
+Args::Args(int argc, const char *const *argv,
+           const std::vector<std::string> &allowed)
+{
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string key, value;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            key = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            key = body;
+            // "--key value" form: consume the next token unless it looks
+            // like another option.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!allowed.empty() &&
+            std::find(allowed.begin(), allowed.end(), key) ==
+                allowed.end()) {
+            fatal("unknown option '--%s'", key.c_str());
+        }
+        values_[key] = value;
+    }
+}
+
+bool
+Args::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Args::getString(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Args::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Args::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("option --%s expects a boolean, got '%s'", name.c_str(),
+          v.c_str());
+}
+
+} // namespace aqsim

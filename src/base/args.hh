@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for examples and bench harnesses.
+ *
+ * Supports "--key=value", "--key value" and boolean "--flag" forms.
+ * Unknown arguments are a fatal user error so typos do not silently run
+ * the default experiment.
+ */
+
+#ifndef AQSIM_BASE_ARGS_HH
+#define AQSIM_BASE_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aqsim
+{
+
+/** Parsed command line with typed accessors and defaults. */
+class Args
+{
+  public:
+    /**
+     * Parse argv. @param allowed the set of recognized option names
+     * (without leading dashes); an empty set accepts anything.
+     */
+    Args(int argc, const char *const *argv,
+         const std::vector<std::string> &allowed = {});
+
+    /** @return true if --name was present. */
+    bool has(const std::string &name) const;
+
+    /** @return string value of --name, or fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** @return integer value of --name, or fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** @return floating-point value of --name, or fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** @return boolean value: bare flag or explicit true/false/1/0. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** @return positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** @return program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace aqsim
+
+#endif // AQSIM_BASE_ARGS_HH

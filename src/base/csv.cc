@@ -1,0 +1,114 @@
+#include "base/csv.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aqsim
+{
+
+std::string
+csvEscape(const std::string &value)
+{
+    bool needs_quotes = false;
+    for (char c : value) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::ostream &out) : out_(out) {}
+
+CsvWriter::~CsvWriter()
+{
+    endRow();
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    endRow();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << csvEscape(names[i]);
+    }
+    out_ << '\n';
+}
+
+CsvWriter &
+CsvWriter::row()
+{
+    endRow();
+    rowOpen_ = true;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!rowOpen_)
+        return;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << pending_[i];
+    }
+    out_ << '\n';
+    pending_.clear();
+    rowOpen_ = false;
+}
+
+CsvWriter &
+CsvWriter::field(const std::string &value)
+{
+    pending_.push_back(csvEscape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(const char *value)
+{
+    return field(std::string(value));
+}
+
+CsvWriter &
+CsvWriter::field(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    pending_.emplace_back(buf);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::int64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    pending_.emplace_back(buf);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    pending_.emplace_back(buf);
+    return *this;
+}
+
+} // namespace aqsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small CSV writer used by the benchmark harnesses and trace dumpers.
+ *
+ * Values are escaped per RFC 4180 (quotes doubled, fields containing
+ * separators/quotes/newlines quoted).
+ */
+
+#ifndef AQSIM_BASE_CSV_HH
+#define AQSIM_BASE_CSV_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aqsim
+{
+
+/** Streams rows of comma-separated values with proper escaping. */
+class CsvWriter
+{
+  public:
+    /** Write to the given stream; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Write a header row. */
+    void header(const std::vector<std::string> &names);
+
+    /** Begin a new row (flushes the previous one). */
+    CsvWriter &row();
+
+    /** Append one field to the current row. */
+    CsvWriter &field(const std::string &value);
+    CsvWriter &field(const char *value);
+    CsvWriter &field(double value);
+    CsvWriter &field(std::int64_t value);
+    CsvWriter &field(std::uint64_t value);
+
+    /** Flush the pending row, if any. */
+    ~CsvWriter();
+
+  private:
+    void endRow();
+
+    std::ostream &out_;
+    std::vector<std::string> pending_;
+    bool rowOpen_ = false;
+};
+
+/** Escape a single CSV field per RFC 4180. */
+std::string csvEscape(const std::string &value);
+
+} // namespace aqsim
+
+#endif // AQSIM_BASE_CSV_HH

@@ -1,0 +1,131 @@
+#include "base/debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace aqsim::debug
+{
+
+namespace
+{
+
+/** Registration order; raw pointers to namespace-scope flags. */
+std::vector<Flag *> &
+registry()
+{
+    static std::vector<Flag *> flags;
+    return flags;
+}
+
+std::string *captureSink = nullptr;
+
+} // namespace
+
+Flag::Flag(const char *name, const char *desc)
+    : name_(name), desc_(desc)
+{
+    registry().push_back(this);
+}
+
+Flag Quantum("Quantum", "quantum boundaries and policy decisions");
+Flag Straggler("Straggler", "straggler / next-quantum deliveries");
+Flag Packet("Packet", "every frame routed by the controller");
+Flag Mpi("Mpi", "message protocol events (RTS/CTS/ACK/match)");
+Flag Engine("Engine", "engine scheduling (host co-simulation)");
+
+void
+setFlags(const std::string &csv)
+{
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        auto end = csv.find(',', start);
+        if (end == std::string::npos)
+            end = csv.size();
+        const std::string name = csv.substr(start, end - start);
+        start = end + 1;
+        if (name.empty())
+            continue;
+        if (name == "All" || name == "all") {
+            for (Flag *flag : registry())
+                flag->enable();
+            continue;
+        }
+        bool found = false;
+        for (Flag *flag : registry()) {
+            if (name == flag->name()) {
+                flag->enable();
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown debug flag '%s' (have: %s)", name.c_str(),
+                  [] {
+                      std::string all;
+                      for (Flag *flag : registry()) {
+                          if (!all.empty())
+                              all += ",";
+                          all += flag->name();
+                      }
+                      return all;
+                  }()
+                      .c_str());
+    }
+}
+
+void
+clearFlags()
+{
+    for (Flag *flag : registry())
+        flag->disable();
+}
+
+std::vector<std::string>
+listFlags()
+{
+    std::vector<std::string> names;
+    for (Flag *flag : registry())
+        names.emplace_back(flag->name());
+    return names;
+}
+
+void
+applyEnvironment()
+{
+    const char *env = std::getenv("AQSIM_DEBUG");
+    if (env && *env)
+        setFlags(env);
+}
+
+void
+captureTo(std::string *sink)
+{
+    captureSink = sink;
+}
+
+void
+logf(const Flag &flag, Tick tick, const char *component,
+     const char *fmt, ...)
+{
+    char body[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+
+    char line[1200];
+    std::snprintf(line, sizeof(line), "%10llu: %s: %s: %s",
+                  static_cast<unsigned long long>(tick),
+                  flag.name(), component, body);
+    if (captureSink) {
+        captureSink->append(line);
+        captureSink->push_back('\n');
+    } else {
+        std::fprintf(stderr, "%s\n", line);
+    }
+}
+
+} // namespace aqsim::debug

@@ -1,0 +1,89 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aqsim
+{
+
+namespace
+{
+
+bool verboseFlag = false;
+std::string *captureSink = nullptr;
+
+void
+emit(const char *prefix, const char *fmt, va_list args)
+{
+    char buf[4096];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    if (captureSink) {
+        captureSink->append(prefix);
+        captureSink->append(buf);
+        captureSink->push_back('\n');
+    } else {
+        std::fprintf(stderr, "%s%s\n", prefix, buf);
+    }
+}
+
+} // namespace
+
+void
+Logger::setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+Logger::verbose()
+{
+    return verboseFlag;
+}
+
+void
+Logger::captureTo(std::string *sink)
+{
+    captureSink = sink;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace aqsim

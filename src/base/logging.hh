@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something works "well enough" but may surprise the user.
+ * inform() - normal operating status messages.
+ *
+ * All functions accept printf-style formatting. Verbosity of inform()
+ * is gated by Logger::setVerbose().
+ */
+
+#ifndef AQSIM_BASE_LOGGING_HH
+#define AQSIM_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace aqsim
+{
+
+/** Global logging configuration and sinks. */
+class Logger
+{
+  public:
+    /** Enable or disable inform() output (warnings always print). */
+    static void setVerbose(bool verbose);
+
+    /** @return whether inform() output is enabled. */
+    static bool verbose();
+
+    /**
+     * Redirect all log output to an accumulating string buffer
+     * (used by tests); pass nullptr to restore stderr.
+     */
+    static void captureTo(std::string *sink);
+};
+
+/** Print an informational message (suppressed unless verbose). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; panics with location info on failure.
+ * Unlike assert(), stays enabled in release builds: the simulator's
+ * correctness argument rests on these invariants.
+ */
+#define AQSIM_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::aqsim::panic("assertion '%s' failed at %s:%d", #cond,       \
+                           __FILE__, __LINE__);                           \
+        }                                                                 \
+    } while (0)
+
+} // namespace aqsim
+
+#endif // AQSIM_BASE_LOGGING_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fundamental types shared by every aqsim module.
+ *
+ * Simulated time is measured in integer ticks of 1 nanosecond. Host
+ * (wall-clock) time, whether modeled by the SequentialEngine or measured
+ * by the ThreadedEngine, is kept in double-precision host nanoseconds so
+ * that fractional per-tick costs accumulate without systematic rounding.
+ */
+
+#ifndef AQSIM_BASE_TYPES_HH
+#define AQSIM_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace aqsim
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick delta, used for straggler lateness and skew arithmetic. */
+using TickDelta = std::int64_t;
+
+/** Modeled or measured host wall-clock time, in nanoseconds. */
+using HostNs = double;
+
+/** Identifier of a simulated node within a cluster (dense, 0-based). */
+using NodeId = std::uint32_t;
+
+/** Application rank; equal to NodeId in single-process-per-node setups. */
+using Rank = std::uint32_t;
+
+/** Sentinel for "no tick" / "infinitely far in the future". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel node id used for broadcast destinations. */
+constexpr NodeId broadcastNode = std::numeric_limits<NodeId>::max();
+
+/** Tick helpers: one tick == one nanosecond. */
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+microseconds(std::uint64_t us)
+{
+    return us * 1000ULL;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t ms)
+{
+    return ms * 1000ULL * 1000ULL;
+}
+
+constexpr Tick
+seconds(std::uint64_t s)
+{
+    return s * 1000ULL * 1000ULL * 1000ULL;
+}
+
+/** Convert ticks to floating-point seconds (for metric reporting). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert ticks to floating-point microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+namespace literals
+{
+
+constexpr Tick operator""_ns(unsigned long long n) { return n; }
+constexpr Tick operator""_us(unsigned long long n)
+{
+    return microseconds(n);
+}
+constexpr Tick operator""_ms(unsigned long long n)
+{
+    return milliseconds(n);
+}
+constexpr Tick operator""_s(unsigned long long n) { return seconds(n); }
+
+} // namespace literals
+
+} // namespace aqsim
+
+#endif // AQSIM_BASE_TYPES_HH

@@ -1,0 +1,281 @@
+#include "core/quantum_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace aqsim::core
+{
+
+namespace
+{
+
+/** Clamp a floating-point quantum into [min, max] ticks. */
+double
+clampQuantum(double q, Tick min_q, Tick max_q)
+{
+    return std::clamp(q, static_cast<double>(min_q),
+                      static_cast<double>(max_q));
+}
+
+Tick
+toTicks(double q)
+{
+    return static_cast<Tick>(std::llround(q));
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        auto pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+} // namespace
+
+Tick
+parseTicks(const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || value < 0)
+        fatal("cannot parse time value '%s'", text.c_str());
+    const std::string suffix(end);
+    double scale = 1.0;
+    if (suffix == "ns" || suffix.empty())
+        scale = 1.0;
+    else if (suffix == "us")
+        scale = 1e3;
+    else if (suffix == "ms")
+        scale = 1e6;
+    else if (suffix == "s")
+        scale = 1e9;
+    else
+        fatal("unknown time suffix '%s' in '%s'", suffix.c_str(),
+              text.c_str());
+    return static_cast<Tick>(std::llround(value * scale));
+}
+
+std::string
+formatTicks(Tick t)
+{
+    char buf[48];
+    if (t >= 1000000000ULL && t % 1000000000ULL == 0)
+        std::snprintf(buf, sizeof(buf), "%llus",
+                      static_cast<unsigned long long>(t / 1000000000ULL));
+    else if (t >= 1000000ULL && t % 1000000ULL == 0)
+        std::snprintf(buf, sizeof(buf), "%llums",
+                      static_cast<unsigned long long>(t / 1000000ULL));
+    else if (t >= 1000ULL && t % 1000ULL == 0)
+        std::snprintf(buf, sizeof(buf), "%lluus",
+                      static_cast<unsigned long long>(t / 1000ULL));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(t));
+    return buf;
+}
+
+FixedQuantumPolicy::FixedQuantumPolicy(Tick quantum) : quantum_(quantum)
+{
+    if (quantum == 0)
+        fatal("fixed quantum must be positive");
+}
+
+std::string
+FixedQuantumPolicy::name() const
+{
+    return "fixed " + formatTicks(quantum_);
+}
+
+std::unique_ptr<QuantumPolicy>
+FixedQuantumPolicy::clone() const
+{
+    return std::make_unique<FixedQuantumPolicy>(quantum_);
+}
+
+AdaptiveQuantumPolicy::AdaptiveQuantumPolicy(Params params)
+    : params_(params), q_(static_cast<double>(params.minQuantum))
+{
+    if (params_.minQuantum == 0 ||
+        params_.maxQuantum < params_.minQuantum)
+        fatal("adaptive quantum requires 0 < min_Q <= max_Q");
+    if (params_.inc <= 1.0)
+        fatal("adaptive quantum increase factor must be > 1 (got %g)",
+              params_.inc);
+    if (params_.dec <= 0.0 || params_.dec >= 1.0)
+        fatal("adaptive quantum decrease factor must be in (0,1) "
+              "(got %g)",
+              params_.dec);
+}
+
+Tick
+AdaptiveQuantumPolicy::next(std::uint64_t packets_last_quantum)
+{
+    // Algorithm 1 (verbatim): grow over silence, collapse on traffic.
+    if (packets_last_quantum == 0)
+        q_ *= params_.inc;
+    else
+        q_ *= params_.dec;
+    q_ = clampQuantum(q_, params_.minQuantum, params_.maxQuantum);
+    return toTicks(q_);
+}
+
+void
+AdaptiveQuantumPolicy::reset()
+{
+    q_ = static_cast<double>(params_.minQuantum);
+}
+
+std::string
+AdaptiveQuantumPolicy::name() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "dyn %s %.4g:%.4g",
+                  formatTicks(params_.maxQuantum).c_str(), params_.inc,
+                  params_.dec);
+    return buf;
+}
+
+std::unique_ptr<QuantumPolicy>
+AdaptiveQuantumPolicy::clone() const
+{
+    return std::make_unique<AdaptiveQuantumPolicy>(params_);
+}
+
+ThresholdAdaptivePolicy::ThresholdAdaptivePolicy(Params params)
+    : params_(params), q_(static_cast<double>(params.base.minQuantum))
+{}
+
+Tick
+ThresholdAdaptivePolicy::next(std::uint64_t packets_last_quantum)
+{
+    if (packets_last_quantum > params_.packetThreshold)
+        q_ *= params_.base.dec;
+    else if (packets_last_quantum == 0)
+        q_ *= params_.base.inc;
+    // else: hold Q in the tolerated band.
+    q_ = clampQuantum(q_, params_.base.minQuantum,
+                      params_.base.maxQuantum);
+    return toTicks(q_);
+}
+
+void
+ThresholdAdaptivePolicy::reset()
+{
+    q_ = static_cast<double>(params_.base.minQuantum);
+}
+
+std::string
+ThresholdAdaptivePolicy::name() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "thresh %llu %.4g:%.4g",
+                  static_cast<unsigned long long>(
+                      params_.packetThreshold),
+                  params_.base.inc, params_.base.dec);
+    return buf;
+}
+
+std::unique_ptr<QuantumPolicy>
+ThresholdAdaptivePolicy::clone() const
+{
+    return std::make_unique<ThresholdAdaptivePolicy>(params_);
+}
+
+SymmetricAdaptivePolicy::SymmetricAdaptivePolicy(
+    AdaptiveQuantumPolicy::Params params)
+    : params_(params), q_(static_cast<double>(params.minQuantum))
+{}
+
+Tick
+SymmetricAdaptivePolicy::next(std::uint64_t packets_last_quantum)
+{
+    // Decrease at the same (slow) rate as the increase: what Algorithm 1
+    // would be without the fast-collapse design point.
+    if (packets_last_quantum == 0)
+        q_ *= params_.inc;
+    else
+        q_ /= params_.inc;
+    q_ = clampQuantum(q_, params_.minQuantum, params_.maxQuantum);
+    return toTicks(q_);
+}
+
+void
+SymmetricAdaptivePolicy::reset()
+{
+    q_ = static_cast<double>(params_.minQuantum);
+}
+
+std::string
+SymmetricAdaptivePolicy::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "symmetric %.4g", params_.inc);
+    return buf;
+}
+
+std::unique_ptr<QuantumPolicy>
+SymmetricAdaptivePolicy::clone() const
+{
+    return std::make_unique<SymmetricAdaptivePolicy>(params_);
+}
+
+std::unique_ptr<QuantumPolicy>
+parsePolicy(const std::string &spec)
+{
+    const auto parts = split(spec, ':');
+    const std::string &kind = parts[0];
+    if (kind == "fixed") {
+        if (parts.size() != 2)
+            fatal("expected fixed:<quantum>, got '%s'", spec.c_str());
+        return std::make_unique<FixedQuantumPolicy>(
+            parseTicks(parts[1]));
+    }
+    if (kind == "dyn") {
+        AdaptiveQuantumPolicy::Params p;
+        if (parts.size() < 3 || parts.size() > 5)
+            fatal("expected dyn:<inc>:<dec>[:min:max], got '%s'",
+                  spec.c_str());
+        p.inc = std::atof(parts[1].c_str());
+        p.dec = std::atof(parts[2].c_str());
+        if (parts.size() >= 4)
+            p.minQuantum = parseTicks(parts[3]);
+        if (parts.size() >= 5)
+            p.maxQuantum = parseTicks(parts[4]);
+        return std::make_unique<AdaptiveQuantumPolicy>(p);
+    }
+    if (kind == "threshold") {
+        if (parts.size() != 4)
+            fatal("expected threshold:<inc>:<dec>:<np>, got '%s'",
+                  spec.c_str());
+        ThresholdAdaptivePolicy::Params p;
+        p.base.inc = std::atof(parts[1].c_str());
+        p.base.dec = std::atof(parts[2].c_str());
+        p.packetThreshold =
+            static_cast<std::uint64_t>(std::atoll(parts[3].c_str()));
+        return std::make_unique<ThresholdAdaptivePolicy>(p);
+    }
+    if (kind == "symmetric") {
+        if (parts.size() != 2)
+            fatal("expected symmetric:<factor>, got '%s'", spec.c_str());
+        AdaptiveQuantumPolicy::Params p;
+        p.inc = std::atof(parts[1].c_str());
+        return std::make_unique<SymmetricAdaptivePolicy>(p);
+    }
+    fatal("unknown policy kind '%s' in '%s'", kind.c_str(), spec.c_str());
+}
+
+} // namespace aqsim::core

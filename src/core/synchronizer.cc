@@ -1,0 +1,72 @@
+#include "core/synchronizer.hh"
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+
+namespace aqsim::core
+{
+
+Synchronizer::Synchronizer(QuantumPolicy &policy,
+                           net::NetworkController &controller,
+                           stats::Group &stats_parent,
+                           bool record_timeline)
+    : policy_(policy), controller_(controller), stats_(stats_parent),
+      recordTimeline_(record_timeline)
+{}
+
+void
+Synchronizer::begin()
+{
+    policy_.reset();
+    stats_.reset();
+    start_ = 0;
+    end_ = policy_.initialQuantum();
+    AQSIM_ASSERT(end_ > start_);
+    stragglerBase_ = controller_.totalStragglers();
+    controller_.beginQuantum();
+}
+
+void
+Synchronizer::completeQuantum(HostNs host_ns)
+{
+    const std::uint64_t packets = controller_.packetsThisQuantum();
+    const std::uint64_t stragglers =
+        controller_.totalStragglers() - stragglerBase_;
+
+    QuantumRecord rec;
+    rec.start = start_;
+    rec.length = end_ - start_;
+    rec.packets = packets;
+    rec.stragglers = stragglers;
+    rec.hostNs = host_ns;
+    stats_.record(rec, recordTimeline_);
+
+    const Tick next_len = policy_.next(packets);
+    AQSIM_ASSERT(next_len > 0);
+    AQSIM_DPRINTF(Quantum, end_, "sync",
+                  "quantum %llu [%llu,%llu) np=%llu stragglers=%llu "
+                  "-> next Q=%llu",
+                  static_cast<unsigned long long>(stats_.numQuanta()),
+                  static_cast<unsigned long long>(start_),
+                  static_cast<unsigned long long>(end_),
+                  static_cast<unsigned long long>(packets),
+                  static_cast<unsigned long long>(stragglers),
+                  static_cast<unsigned long long>(next_len));
+    start_ = end_;
+    end_ = start_ + next_len;
+    stragglerBase_ = controller_.totalStragglers();
+    controller_.beginQuantum();
+}
+
+bool
+Synchronizer::conservative() const
+{
+    // Only a fixed policy with Q <= T provably never produces
+    // stragglers; an adaptive policy exceeds T by design whenever
+    // traffic pauses.
+    const auto *fixed = dynamic_cast<const FixedQuantumPolicy *>(&policy_);
+    return fixed &&
+           fixed->initialQuantum() <= controller_.minNetworkLatency();
+}
+
+} // namespace aqsim::core

@@ -1,0 +1,113 @@
+#include "engine/cluster.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace aqsim::engine
+{
+
+Cluster::Cluster(const ClusterParams &params,
+                 workloads::Workload &workload)
+    : params_(params), workload_(workload), statsRoot_("cluster")
+{
+    AQSIM_ASSERT(params.numNodes >= 1);
+
+    controller_ = std::make_unique<net::NetworkController>(
+        params.numNodes, params.network, statsRoot_);
+
+    if (!params.cpuSpeedFactors.empty() &&
+        params.cpuSpeedFactors.size() != params.numNodes)
+        fatal("cpuSpeedFactors holds %zu entries for %zu nodes",
+              params.cpuSpeedFactors.size(), params.numNodes);
+
+    Rng master(params.seed);
+    for (NodeId id = 0; id < params.numNodes; ++id) {
+        node::CpuParams cpu_params = params.cpu;
+        if (!params.cpuSpeedFactors.empty()) {
+            AQSIM_ASSERT(params.cpuSpeedFactors[id] > 0.0);
+            cpu_params.opsPerNs *= params.cpuSpeedFactors[id];
+        }
+        std::unique_ptr<node::CpuModel> cpu;
+        if (params.samplingCpu) {
+            auto sampling = params.sampling;
+            sampling.cpu = cpu_params;
+            cpu = std::make_unique<node::SamplingCpuModel>(
+                sampling, master.fork(0x5a00 + id));
+        } else {
+            cpu = std::make_unique<node::SimpleCpuModel>(cpu_params);
+        }
+        nodes_.push_back(std::make_unique<node::NodeSimulator>(
+            id, std::move(cpu), *controller_, statsRoot_));
+        endpoints_.push_back(std::make_unique<mpi::Endpoint>(
+            id, params.numNodes, *nodes_.back(), params.mpiParams));
+        contexts_.push_back(std::make_unique<workloads::AppContext>(
+            *nodes_.back(), *endpoints_.back(),
+            master.fork(0xa110 + id)));
+    }
+
+    // Programs are installed after all endpoints exist, so rank 0 can
+    // talk to rank N-1 from its very first event.
+    for (NodeId id = 0; id < params.numNodes; ++id)
+        nodes_[id]->setProgram(workload_.program(*contexts_[id]));
+}
+
+bool
+Cluster::allDone() const
+{
+    for (const auto &n : nodes_)
+        if (!n->appDone())
+            return false;
+    return true;
+}
+
+Tick
+Cluster::maxFinishTick() const
+{
+    Tick max_tick = 0;
+    for (const auto &n : nodes_)
+        max_tick = std::max(max_tick, n->appFinishTick());
+    return max_tick;
+}
+
+std::vector<Tick>
+Cluster::finishTicks() const
+{
+    std::vector<Tick> out;
+    out.reserve(nodes_.size());
+    for (const auto &n : nodes_)
+        out.push_back(n->appFinishTick());
+    return out;
+}
+
+bool
+Cluster::anyEventPending() const
+{
+    for (const auto &n : nodes_)
+        if (!n->queue().empty())
+            return true;
+    return false;
+}
+
+std::string
+Cluster::progressReport() const
+{
+    std::string out;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        char line[160];
+        std::snprintf(
+            line, sizeof(line),
+            "  node%u: now=%llu done=%d pendingEvents=%zu "
+            "postedRecvs=%zu unexpected=%zu\n",
+            id,
+            static_cast<unsigned long long>(nodes_[id]->queue().now()),
+            nodes_[id]->appDone() ? 1 : 0,
+            nodes_[id]->queue().pendingCount(),
+            endpoints_[id]->postedRecvCount(),
+            endpoints_[id]->unexpectedCount());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace aqsim::engine

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cluster assembly: nodes + endpoints + controller + workload programs.
+ *
+ * A Cluster wires together everything a run needs, mirroring the
+ * paper's Figure 1: N full-system node simulators, each bridged through
+ * its NIC to the central network controller, each running one rank of
+ * the distributed application.
+ */
+
+#ifndef AQSIM_ENGINE_CLUSTER_HH
+#define AQSIM_ENGINE_CLUSTER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "mpi/communicator.hh"
+#include "net/network_controller.hh"
+#include "node/cpu_model.hh"
+#include "node/node_simulator.hh"
+#include "stats/stats.hh"
+#include "workloads/workload.hh"
+
+namespace aqsim::engine
+{
+
+/** Static configuration of a simulated cluster. */
+struct ClusterParams
+{
+    std::size_t numNodes = 2;
+    net::NetworkParams network;
+    node::CpuParams cpu;
+    /**
+     * Optional per-node CPU speed multipliers (heterogeneous
+     * clusters, the paper's "more complex clusters" future work).
+     * Empty = homogeneous; otherwise must hold numNodes entries.
+     */
+    std::vector<double> cpuSpeedFactors;
+    mpi::EndpointParams mpiParams;
+    /** Use the sampling CPU model (the paper's future-work extension). */
+    bool samplingCpu = false;
+    node::SamplingCpuModel::Params sampling;
+    /** Master seed; all run randomness derives from it. */
+    std::uint64_t seed = 1;
+};
+
+/** A fully wired simulated cluster ready to be driven by an engine. */
+class Cluster
+{
+  public:
+    /**
+     * Build the cluster and install one rank of @p workload per node.
+     * The workload must outlive the cluster.
+     */
+    Cluster(const ClusterParams &params, workloads::Workload &workload);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    node::NodeSimulator &node(NodeId id) { return *nodes_.at(id); }
+    mpi::Endpoint &endpoint(NodeId id) { return *endpoints_.at(id); }
+    net::NetworkController &controller() { return *controller_; }
+    stats::Group &statsRoot() { return statsRoot_; }
+    workloads::Workload &workload() { return workload_; }
+    const ClusterParams &params() const { return params_; }
+
+    /** @return true once every rank's program has completed. */
+    bool allDone() const;
+
+    /** @return max over ranks of the application completion tick. */
+    Tick maxFinishTick() const;
+
+    /** @return per-rank completion ticks. */
+    std::vector<Tick> finishTicks() const;
+
+    /** @return true if any node has a pending event. */
+    bool anyEventPending() const;
+
+    /**
+     * Describe per-node progress for deadlock diagnostics (posted
+     * receives, pending events, clocks).
+     */
+    std::string progressReport() const;
+
+  private:
+    ClusterParams params_;
+    workloads::Workload &workload_;
+    stats::Group statsRoot_;
+    std::unique_ptr<net::NetworkController> controller_;
+    std::vector<std::unique_ptr<node::NodeSimulator>> nodes_;
+    std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;
+    std::vector<std::unique_ptr<workloads::AppContext>> contexts_;
+};
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_CLUSTER_HH

@@ -1,0 +1,50 @@
+#include "engine/run_result.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace aqsim::engine
+{
+
+std::string
+RunResult::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s/%s n=%zu sim=%.3fms host=%.3fs quanta=%llu pkts=%llu "
+        "stragglers=%llu metric=%.4g",
+        workload.c_str(), policy.c_str(), numNodes,
+        static_cast<double>(simTicks) * 1e-6, hostSeconds(),
+        static_cast<unsigned long long>(quanta),
+        static_cast<unsigned long long>(packets),
+        static_cast<unsigned long long>(stragglers), metric);
+    return buf;
+}
+
+double
+accuracyError(const RunResult &run, const RunResult &ground_truth)
+{
+    AQSIM_ASSERT(ground_truth.metric != 0.0);
+    return std::fabs(run.metric - ground_truth.metric) /
+           std::fabs(ground_truth.metric);
+}
+
+double
+speedup(const RunResult &run, const RunResult &ground_truth)
+{
+    AQSIM_ASSERT(run.hostNs > 0.0);
+    return ground_truth.hostNs / run.hostNs;
+}
+
+double
+simTimeRatio(const RunResult &run, const RunResult &ground_truth)
+{
+    AQSIM_ASSERT(ground_truth.simTicks > 0);
+    return static_cast<double>(run.simTicks) /
+           static_cast<double>(ground_truth.simTicks);
+}
+
+} // namespace aqsim::engine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Result of one cluster-simulation run.
+ */
+
+#ifndef AQSIM_ENGINE_RUN_RESULT_HH
+#define AQSIM_ENGINE_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/sync_stats.hh"
+
+namespace aqsim::engine
+{
+
+/** Everything measured during one run of a workload under a policy. */
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+    std::string engine;
+    std::size_t numNodes = 0;
+
+    /** Simulated completion time (max over ranks). */
+    Tick simTicks = 0;
+    /** Modeled (SequentialEngine) or measured (ThreadedEngine) host
+     * wall-clock spent simulating. */
+    HostNs hostNs = 0.0;
+    /** The workload's self-reported metric (MOPS or seconds). */
+    double metric = 0.0;
+
+    std::uint64_t quanta = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t stragglers = 0;
+    std::uint64_t nextQuantumDeliveries = 0;
+    std::uint64_t latenessTicks = 0;
+    double meanQuantumTicks = 0.0;
+
+    /** Per-rank application completion ticks. */
+    std::vector<Tick> finishTicks;
+    /** Per-quantum records (only when timeline recording was on). */
+    std::vector<core::QuantumRecord> timeline;
+
+    double simSeconds() const { return ticksToSeconds(simTicks); }
+    double hostSeconds() const { return hostNs * 1e-9; }
+
+    /** Straggler fraction of all routed packets. */
+    double
+    stragglerFraction() const
+    {
+        return packets ? static_cast<double>(stragglers) /
+                             static_cast<double>(packets)
+                       : 0.0;
+    }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Relative accuracy error of a run against the ground truth, on the
+ * application-reported metric — the paper's accuracy measure.
+ */
+double accuracyError(const RunResult &run, const RunResult &ground_truth);
+
+/** Host wall-clock speedup of a run over the ground truth. */
+double speedup(const RunResult &run, const RunResult &ground_truth);
+
+/** Simulated-execution-time ratio (the paper's IS table metric). */
+double simTimeRatio(const RunResult &run, const RunResult &ground_truth);
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_RUN_RESULT_HH

@@ -1,0 +1,333 @@
+#include "engine/sequential_engine.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+#include "core/synchronizer.hh"
+
+namespace aqsim::engine
+{
+
+namespace
+{
+
+/**
+ * Per-run co-simulation state and the DeliveryScheduler the controller
+ * calls back into.
+ */
+class CoSim : public net::DeliveryScheduler
+{
+  public:
+    CoSim(Cluster &cluster, core::Synchronizer &sync,
+          const EngineOptions &options)
+        : cluster_(cluster), sync_(sync), options_(options)
+    {
+        Rng host_rng(cluster.params().seed ^ 0x9d5c0fb3ULL);
+        const std::size_t n = cluster.numNodes();
+        states_.reserve(n);
+        for (NodeId id = 0; id < n; ++id) {
+            states_.push_back(NodeState{
+                &cluster.node(id),
+                node::HostCostModel(options.host, host_rng.fork(id)),
+            });
+        }
+        cluster.controller().setScheduler(this);
+    }
+
+    /** Execute the whole run; returns total modeled host time. */
+    HostNs
+    execute()
+    {
+        const std::size_t n = states_.size();
+        const std::uint64_t max_quanta =
+            options_.maxQuanta ? options_.maxQuanta : 500'000'000ULL;
+
+        sync_.begin();
+        while (!cluster_.allDone()) {
+            if (!cluster_.anyEventPending()) {
+                panic("cluster deadlock: no pending events but "
+                      "applications incomplete\n%s",
+                      cluster_.progressReport().c_str());
+            }
+            runQuantum();
+            if (sync_.numQuanta() > max_quanta)
+                fatal("quantum budget exceeded (%llu); likely "
+                      "livelock or mis-sized workload",
+                      static_cast<unsigned long long>(max_quanta));
+            if (options_.maxSimTicks &&
+                sync_.quantumStart() > options_.maxSimTicks)
+                fatal("simulated time budget exceeded at %llu ticks",
+                      static_cast<unsigned long long>(
+                          sync_.quantumStart()));
+        }
+        (void)n;
+        return globalHost_;
+    }
+
+    net::DeliveryScheduler *scheduler() { return this; }
+
+    /** DeliveryScheduler: place a packet into its destination node. */
+    Tick
+    place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
+    {
+        NodeState &dst = states_[pkt->dst];
+        const Tick ideal = pkt->idealArrival;
+        const Tick qe = sync_.quantumEnd();
+
+        if (ideal >= qe) {
+            // Arrives in a later quantum: always safely schedulable.
+            dst.node->nic().deliverAt(pkt, ideal);
+            kind = net::DeliveryKind::OnTime;
+            return ideal;
+        }
+        if (dst.atBarrier) {
+            // Fig. 3d: receiver already finished its quantum; the
+            // controller queues the packet to the next boundary.
+            dst.node->nic().deliverAt(pkt, qe);
+            kind = net::DeliveryKind::NextQuantum;
+            return qe;
+        }
+
+        // Where is the receiver's simulator *right now* (in host time)?
+        // It has been free-running since its last event; it cannot
+        // have passed a still-pending event (that event's heap entry
+        // would have popped before the current host time), so the
+        // interpolation is clamped to the next pending tick.
+        const HostNs host_now = currentHostNs_;
+        Tick rpos = dst.simPos;
+        if (host_now > dst.hostClock && dst.rate > 0.0) {
+            rpos += static_cast<Tick>((host_now - dst.hostClock) /
+                                      dst.rate);
+        }
+        rpos = std::min({rpos, qe, dst.node->queue().nextTick()});
+
+        // Advance the receiver to this host moment: the delivery is
+        // *caused* now, so nothing the receiver does afterwards may be
+        // stamped earlier than this (host causality).
+        if (rpos > dst.simPos) {
+            dst.node->queue().fastForwardTo(rpos);
+            dst.simPos = rpos;
+        }
+        dst.hostClock = std::max(dst.hostClock, host_now);
+
+        if (ideal >= rpos) {
+            // Fig. 3 scenario (2): receiver has not yet reached the
+            // arrival time; schedule it exactly.
+            dst.node->nic().deliverAt(pkt, ideal);
+            kind = net::DeliveryKind::OnTime;
+            requeue(pkt->dst);
+            return ideal;
+        }
+        if (rpos >= qe) {
+            dst.node->nic().deliverAt(pkt, qe);
+            kind = net::DeliveryKind::NextQuantum;
+            return qe;
+        }
+        AQSIM_DPRINTF(Straggler, ideal, "engine",
+                      "pkt#%llu %u->%u late: ideal=%llu receiver@%llu",
+                      static_cast<unsigned long long>(pkt->id),
+                      pkt->src, pkt->dst,
+                      static_cast<unsigned long long>(ideal),
+                      static_cast<unsigned long long>(rpos));
+        if (options_.stragglerPolicy ==
+            StragglerPolicy::DeferToNextQuantum) {
+            dst.node->nic().deliverAt(pkt, qe);
+            kind = net::DeliveryKind::NextQuantum;
+            return qe;
+        }
+        // Straggler: cannot deliver in the past; deliver "now".
+        const Tick actual = std::max(rpos, dst.node->queue().now());
+        dst.node->nic().deliverAt(pkt, actual);
+        kind = net::DeliveryKind::Straggler;
+        requeue(pkt->dst);
+        return actual;
+    }
+
+  private:
+    struct NodeState
+    {
+        node::NodeSimulator *node;
+        node::HostCostModel host;
+        /** Host-ns per sim-ns for the segment after the last event. */
+        double rate = 1.0;
+        /** Sim tick of the last processed event. */
+        Tick simPos = 0;
+        /** Host time at which the last event finished. */
+        HostNs hostClock = 0.0;
+        bool atBarrier = false;
+        std::uint64_t gen = 0;
+    };
+
+    struct Entry
+    {
+        HostNs when;
+        NodeId id;
+        std::uint64_t gen;
+        bool isBarrier;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (id != o.id)
+                return id > o.id;
+            return gen > o.gen;
+        }
+    };
+
+    /** Recompute and push a node's next host-time entry. */
+    void
+    pushEntry(NodeId id)
+    {
+        NodeState &s = states_[id];
+        const Tick qe = sync_.quantumEnd();
+        const Tick next = s.node->queue().nextTick();
+        s.rate = s.host.rate(s.node->cpu().busy(),
+                             s.node->cpu().hostDetailFactor());
+        if (next >= qe) {
+            const HostNs when =
+                s.hostClock +
+                static_cast<double>(qe - s.simPos) * s.rate;
+            heap_.push(Entry{when, id, s.gen, true});
+        } else {
+            const HostNs when =
+                s.hostClock +
+                static_cast<double>(next - s.simPos) * s.rate +
+                s.host.perEventNs();
+            heap_.push(Entry{when, id, s.gen, false});
+        }
+    }
+
+    /** Invalidate a node's queued entry and schedule a fresh one. */
+    void
+    requeue(NodeId id)
+    {
+        NodeState &s = states_[id];
+        if (s.atBarrier)
+            return;
+        ++s.gen;
+        pushEntry(id);
+    }
+
+    void
+    runQuantum()
+    {
+        const std::size_t n = states_.size();
+        const Tick qs = sync_.quantumStart();
+        const Tick qe = sync_.quantumEnd();
+        const HostNs quantum_begin = globalHost_;
+
+        for (NodeId id = 0; id < n; ++id) {
+            NodeState &s = states_[id];
+            AQSIM_ASSERT(s.node->queue().now() == qs);
+            s.atBarrier = false;
+            s.simPos = qs;
+            s.hostClock = quantum_begin + s.host.perQuantumNs();
+            s.host.newQuantum(qe - qs);
+            ++s.gen;
+            pushEntry(id);
+        }
+
+        std::size_t at_barrier = 0;
+        HostNs max_barrier = quantum_begin;
+        while (at_barrier < n) {
+            AQSIM_ASSERT(!heap_.empty());
+            const Entry e = heap_.top();
+            heap_.pop();
+            NodeState &s = states_[e.id];
+            if (e.gen != s.gen)
+                continue; // stale entry
+            // The host frontier is monotone: an entry stamped before
+            // the frontier (possible when a causally-later delivery
+            // re-stamped the node) executes "now".
+            currentHostNs_ = std::max(currentHostNs_, e.when);
+            if (e.isBarrier) {
+                s.hostClock = currentHostNs_;
+                s.node->queue().fastForwardTo(qe);
+                s.simPos = qe;
+                s.atBarrier = true;
+                ++at_barrier;
+                max_barrier = std::max(max_barrier, currentHostNs_);
+                continue;
+            }
+            // Run exactly one event; its callbacks may transmit
+            // packets (delivering into other nodes through place())
+            // or schedule further local events.
+            const Tick tick = s.node->queue().nextTick();
+            AQSIM_ASSERT(tick < qe);
+            s.hostClock = currentHostNs_;
+            s.simPos = tick;
+            const bool ran = s.node->queue().runOne();
+            AQSIM_ASSERT(ran);
+            pushEntry(e.id);
+        }
+
+        globalHost_ = max_barrier +
+                      options_.host.barrierNs(states_.size());
+        AQSIM_DPRINTF(Engine, qe, "engine",
+                      "quantum [%llu,%llu) took %.0f host-ns",
+                      static_cast<unsigned long long>(qs),
+                      static_cast<unsigned long long>(qe),
+                      globalHost_ - quantum_begin);
+        sync_.completeQuantum(globalHost_ - quantum_begin);
+    }
+
+    Cluster &cluster_;
+    core::Synchronizer &sync_;
+    EngineOptions options_;
+    std::vector<NodeState> states_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    HostNs globalHost_ = 0.0;
+    HostNs currentHostNs_ = 0.0;
+};
+
+} // namespace
+
+SequentialEngine::SequentialEngine(EngineOptions options)
+    : options_(options)
+{}
+
+RunResult
+SequentialEngine::run(const ClusterParams &params,
+                      workloads::Workload &workload,
+                      core::QuantumPolicy &policy)
+{
+    Cluster cluster(params, workload);
+    return run(cluster, policy);
+}
+
+RunResult
+SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
+{
+    core::Synchronizer sync(policy, cluster.controller(),
+                            cluster.statsRoot(),
+                            options_.recordTimeline);
+    CoSim cosim(cluster, sync, options_);
+    const HostNs host_ns = cosim.execute();
+
+    RunResult result;
+    result.workload = cluster.workload().name();
+    result.policy = policy.name();
+    result.engine = "sequential";
+    result.numNodes = cluster.numNodes();
+    result.simTicks = cluster.maxFinishTick();
+    result.hostNs = host_ns;
+    result.metric = cluster.workload().metricValue(result.simTicks);
+    result.quanta = sync.numQuanta();
+    result.packets = cluster.controller().totalPackets();
+    result.stragglers = cluster.controller().totalStragglers();
+    result.nextQuantumDeliveries =
+        cluster.controller().totalNextQuantum();
+    result.latenessTicks = cluster.controller().totalLatenessTicks();
+    result.meanQuantumTicks = sync.stats().meanQuantumLength();
+    result.finishTicks = cluster.finishTicks();
+    result.timeline = sync.stats().timeline();
+    return result;
+}
+
+} // namespace aqsim::engine

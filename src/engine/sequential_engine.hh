@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic co-simulation of the parallel simulation host.
+ *
+ * The paper runs N node simulators as parallel processes and measures
+ * wall-clock time. SequentialEngine reproduces that execution
+ * deterministically: it interleaves the nodes' events in *host-time*
+ * order using each node's host-speed model, so
+ *
+ *  - wall-clock per quantum = slowest node + barrier cost (Fig. 5),
+ *  - whether a packet is a straggler depends on how far the receiver's
+ *    simulator happens to have progressed in host time when the packet
+ *    reaches the controller — exactly the paper's Fig. 3 scenarios,
+ *
+ * while remaining a pure function of the configuration (bit-identical
+ * reruns).
+ */
+
+#ifndef AQSIM_ENGINE_SEQUENTIAL_ENGINE_HH
+#define AQSIM_ENGINE_SEQUENTIAL_ENGINE_HH
+
+#include <cstdint>
+
+#include "core/quantum_policy.hh"
+#include "engine/cluster.hh"
+#include "engine/run_result.hh"
+#include "net/network_controller.hh"
+#include "node/host_cost_model.hh"
+
+namespace aqsim::engine
+{
+
+/**
+ * What to do with a straggler (a packet whose receiver has already
+ * simulated past its ideal arrival) — the design space the paper's
+ * Section 3 discusses.
+ */
+enum class StragglerPolicy
+{
+    /**
+     * "The only possibility we have is to schedule the packet
+     * immediately": deliver at the receiver's current position
+     * (the paper's choice; bounded lateness, minimal added latency).
+     */
+    DeliverNow,
+    /**
+     * Defer every straggler to the next quantum boundary: simpler
+     * controller (no mid-quantum injection into the receiver's past)
+     * but every straggler's latency snaps to the quantum (Fig. 3d
+     * behaviour for all stragglers).
+     */
+    DeferToNextQuantum,
+};
+
+/** Engine-level run options shared by both engines. */
+struct EngineOptions
+{
+    node::HostCostParams host;
+    /** Keep one QuantumRecord per quantum in the result. */
+    bool recordTimeline = false;
+    /** Abort if simulated time exceeds this (0 = no limit). */
+    Tick maxSimTicks = 0;
+    /** Abort if quantum count exceeds this (0 = default guard). */
+    std::uint64_t maxQuanta = 0;
+    /** Straggler handling (paper: DeliverNow). */
+    StragglerPolicy stragglerPolicy = StragglerPolicy::DeliverNow;
+};
+
+/** Deterministic host-time co-simulating engine. */
+class SequentialEngine
+{
+  public:
+    explicit SequentialEngine(EngineOptions options = {});
+
+    /**
+     * Run @p workload on a cluster built from @p params under
+     * @p policy. The policy instance is reset and driven by this run.
+     */
+    RunResult run(const ClusterParams &params,
+                  workloads::Workload &workload,
+                  core::QuantumPolicy &policy);
+
+    /**
+     * Run on an externally constructed cluster (lets callers attach
+     * observers/tracers to the controller before the run starts).
+     */
+    RunResult run(Cluster &cluster, core::QuantumPolicy &policy);
+
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    EngineOptions options_;
+};
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_SEQUENTIAL_ENGINE_HH

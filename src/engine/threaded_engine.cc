@@ -1,0 +1,339 @@
+#include "engine/threaded_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/synchronizer.hh"
+
+namespace aqsim::engine
+{
+
+namespace
+{
+
+/** A delivery parked in a destination node's mailbox. */
+struct ParkedDelivery
+{
+    net::PacketPtr pkt;
+    Tick when;
+    /** Canonical merge key: (when, src, departTick) is a total order
+     * because departTick strictly increases per source NIC. */
+    bool
+    operator<(const ParkedDelivery &o) const
+    {
+        if (when != o.when)
+            return when < o.when;
+        if (pkt->src != o.pkt->src)
+            return pkt->src < o.pkt->src;
+        return pkt->departTick < o.pkt->departTick;
+    }
+};
+
+/** Per-node cross-thread state. */
+struct NodeShared
+{
+    std::mutex mailboxMutex;
+    std::vector<ParkedDelivery> mailbox;
+    bool atBarrier = true;
+    std::atomic<Tick> currentTick{0};
+    /** Set while the mailbox holds a delivery inside the open quantum. */
+    std::atomic<bool> urgent{false};
+};
+
+/**
+ * Thread-safe placement: park the delivery in the destination mailbox;
+ * the destination thread schedules it into its own event queue.
+ */
+class ThreadedScheduler : public net::DeliveryScheduler
+{
+  public:
+    ThreadedScheduler(std::vector<NodeShared> &shared,
+                      core::Synchronizer &sync)
+        : shared_(shared), sync_(sync)
+    {}
+
+    Tick
+    place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
+    {
+        NodeShared &dst = shared_[pkt->dst];
+        const Tick ideal = pkt->idealArrival;
+        const Tick qe = sync_.quantumEnd();
+
+        std::lock_guard<std::mutex> lock(dst.mailboxMutex);
+        Tick actual;
+        if (ideal >= qe) {
+            kind = net::DeliveryKind::OnTime;
+            actual = ideal;
+        } else if (dst.atBarrier) {
+            kind = net::DeliveryKind::NextQuantum;
+            actual = qe;
+        } else {
+            const Tick rnow =
+                dst.currentTick.load(std::memory_order_acquire);
+            if (ideal >= rnow) {
+                kind = net::DeliveryKind::OnTime;
+                actual = ideal;
+            } else {
+                kind = net::DeliveryKind::Straggler;
+                actual = std::min(rnow, qe);
+            }
+            dst.urgent.store(true, std::memory_order_release);
+        }
+        dst.mailbox.push_back(ParkedDelivery{pkt, actual});
+        return actual;
+    }
+
+  private:
+    std::vector<NodeShared> &shared_;
+    core::Synchronizer &sync_;
+};
+
+/** Two-phase gate coordinating worker threads and the coordinator. */
+class QuantumGate
+{
+  public:
+    explicit QuantumGate(std::size_t workers) : workers_(workers) {}
+
+    /** Worker: announce barrier arrival for the current epoch. */
+    void
+    arrive()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++arrived_;
+        if (arrived_ == workers_)
+            cv_.notify_all();
+    }
+
+    /** Coordinator: wait until every worker arrived. */
+    void
+    waitAllArrived()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return arrived_ == workers_; });
+    }
+
+    /** Coordinator: open the next quantum (or stop the run). */
+    void
+    release(Tick quantum_end, bool stop)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        arrived_ = 0;
+        quantumEnd_ = quantum_end;
+        stop_ = stop;
+        ++epoch_;
+        cv_.notify_all();
+    }
+
+    /**
+     * Worker: wait for the next quantum after @p seen_epoch.
+     * @return (quantum_end, stop)
+     */
+    std::pair<Tick, bool>
+    waitRelease(std::uint64_t &seen_epoch)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
+        seen_epoch = epoch_;
+        return {quantumEnd_, stop_};
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t workers_;
+    std::size_t arrived_ = 0;
+    std::uint64_t epoch_ = 0;
+    Tick quantumEnd_ = 0;
+    bool stop_ = false;
+};
+
+/** Body of one node's worker thread. */
+void
+workerLoop(node::NodeSimulator &node, NodeShared &shared,
+           QuantumGate &gate)
+{
+    auto &queue = node.queue();
+    std::uint64_t epoch = 0;
+
+    // Mid-quantum drain of deliveries placed *inside* the open
+    // quantum (the urgent/straggler path). Cross-quantum deliveries
+    // are merged canonically by the coordinator at the barrier.
+    auto drain = [&] {
+        std::vector<ParkedDelivery> batch;
+        {
+            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
+            batch.swap(shared.mailbox);
+            shared.urgent.store(false, std::memory_order_release);
+        }
+        for (auto &d : batch)
+            node.nic().deliverAt(d.pkt,
+                                 std::max(d.when, queue.now()));
+    };
+
+    for (;;) {
+        auto [qe, stop] = gate.waitRelease(epoch);
+        if (stop)
+            return;
+
+        {
+            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
+            shared.atBarrier = false;
+        }
+
+        for (;;) {
+            while (queue.nextTick() < qe) {
+                queue.runOne();
+                shared.currentTick.store(queue.now(),
+                                         std::memory_order_release);
+                if (shared.urgent.load(std::memory_order_acquire))
+                    drain();
+            }
+            // Close the quantum atomically w.r.t. placers, then pick
+            // up anything that raced in under the old state.
+            bool more;
+            {
+                std::lock_guard<std::mutex> lock(shared.mailboxMutex);
+                shared.atBarrier = true;
+                more = !shared.mailbox.empty();
+            }
+            if (!more)
+                break;
+            drain();
+            if (queue.nextTick() >= qe)
+                break;
+            // A raced-in delivery landed inside the quantum: reopen.
+            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
+            shared.atBarrier = false;
+        }
+        queue.fastForwardTo(qe);
+        shared.currentTick.store(qe, std::memory_order_release);
+        gate.arrive();
+    }
+}
+
+/**
+ * Coordinator-side drain at the barrier: all workers are parked, so
+ * touching their queues is race-free. Cross-quantum deliveries are
+ * merged in the canonical (tick, src, departTick) order, which makes
+ * conservative runs bit-identical to the SequentialEngine regardless
+ * of thread interleaving — and keeps parked packets visible to the
+ * deadlock check.
+ */
+void
+coordinatorDrain(Cluster &cluster, std::vector<NodeShared> &shared)
+{
+    for (NodeId id = 0; id < cluster.numNodes(); ++id) {
+        std::vector<ParkedDelivery> batch;
+        {
+            std::lock_guard<std::mutex> lock(shared[id].mailboxMutex);
+            batch.swap(shared[id].mailbox);
+            shared[id].urgent.store(false, std::memory_order_release);
+        }
+        std::sort(batch.begin(), batch.end());
+        auto &node = cluster.node(id);
+        for (auto &d : batch)
+            node.nic().deliverAt(
+                d.pkt, std::max(d.when, node.queue().now()));
+    }
+}
+
+} // namespace
+
+ThreadedEngine::ThreadedEngine(EngineOptions options)
+    : options_(options)
+{}
+
+RunResult
+ThreadedEngine::run(const ClusterParams &params,
+                    workloads::Workload &workload,
+                    core::QuantumPolicy &policy)
+{
+    Cluster cluster(params, workload);
+    return run(cluster, policy);
+}
+
+RunResult
+ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
+{
+    const std::size_t n = cluster.numNodes();
+    core::Synchronizer sync(policy, cluster.controller(),
+                            cluster.statsRoot(),
+                            options_.recordTimeline);
+
+    std::vector<NodeShared> shared(n);
+    ThreadedScheduler scheduler(shared, sync);
+    cluster.controller().setScheduler(&scheduler);
+
+    QuantumGate gate(n);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+        threads.emplace_back(workerLoop, std::ref(cluster.node(id)),
+                             std::ref(shared[id]), std::ref(gate));
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    sync.begin();
+    const std::uint64_t max_quanta =
+        options_.maxQuanta ? options_.maxQuanta : 500'000'000ULL;
+
+    auto quantum_start_wall = wall_start;
+    while (!cluster.allDone()) {
+        if (!cluster.anyEventPending()) {
+            panic("cluster deadlock: no pending events but "
+                  "applications incomplete\n%s",
+                  cluster.progressReport().c_str());
+        }
+        gate.release(sync.quantumEnd(), /*stop=*/false);
+        gate.waitAllArrived();
+        coordinatorDrain(cluster, shared);
+        const auto now_wall = std::chrono::steady_clock::now();
+        const HostNs quantum_ns =
+            std::chrono::duration<double, std::nano>(
+                now_wall - quantum_start_wall)
+                .count();
+        quantum_start_wall = now_wall;
+        sync.completeQuantum(quantum_ns);
+        if (sync.numQuanta() > max_quanta)
+            fatal("quantum budget exceeded (%llu)",
+                  static_cast<unsigned long long>(max_quanta));
+        if (options_.maxSimTicks &&
+            sync.quantumStart() > options_.maxSimTicks)
+            fatal("simulated time budget exceeded");
+    }
+    gate.release(0, /*stop=*/true);
+    for (auto &t : threads)
+        t.join();
+
+    const HostNs host_ns = std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() -
+                               wall_start)
+                               .count();
+
+    RunResult result;
+    result.workload = cluster.workload().name();
+    result.policy = policy.name();
+    result.engine = "threaded";
+    result.numNodes = n;
+    result.simTicks = cluster.maxFinishTick();
+    result.hostNs = host_ns;
+    result.metric = cluster.workload().metricValue(result.simTicks);
+    result.quanta = sync.numQuanta();
+    result.packets = cluster.controller().totalPackets();
+    result.stragglers = cluster.controller().totalStragglers();
+    result.nextQuantumDeliveries =
+        cluster.controller().totalNextQuantum();
+    result.latenessTicks = cluster.controller().totalLatenessTicks();
+    result.meanQuantumTicks = sync.stats().meanQuantumLength();
+    result.finishTicks = cluster.finishTicks();
+    result.timeline = sync.stats().timeline();
+    return result;
+}
+
+} // namespace aqsim::engine

@@ -1,0 +1,43 @@
+#include "harness/pareto.hh"
+
+#include <algorithm>
+
+namespace aqsim::harness
+{
+
+bool
+isParetoOptimal(const std::vector<TradeoffPoint> &points,
+                std::size_t index)
+{
+    const TradeoffPoint &p = points[index];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i == index)
+            continue;
+        const TradeoffPoint &q = points[i];
+        const bool at_least_as_good =
+            q.error <= p.error && q.speedup >= p.speedup;
+        const bool strictly_better =
+            q.error < p.error || q.speedup > p.speedup;
+        if (at_least_as_good && strictly_better)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<TradeoffPoint> &points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        if (isParetoOptimal(points, i))
+            front.push_back(i);
+    std::sort(front.begin(), front.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (points[a].error != points[b].error)
+                      return points[a].error < points[b].error;
+                  return points[a].speedup < points[b].speedup;
+              });
+    return front;
+}
+
+} // namespace aqsim::harness

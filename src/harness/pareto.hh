@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Pareto-front extraction for the speed/accuracy tradeoff (paper
+ * Fig. 8): a point is Pareto-optimal "if there is no other point that
+ * performs at least as well on one criterion (accuracy error or
+ * simulation speedup) and strictly better on the other".
+ */
+
+#ifndef AQSIM_HARNESS_PARETO_HH
+#define AQSIM_HARNESS_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aqsim::harness
+{
+
+/** One (configuration x workload) point in the tradeoff plane. */
+struct TradeoffPoint
+{
+    std::string label;
+    /** Relative accuracy error (smaller is better). */
+    double error = 0.0;
+    /** Host speedup over the ground truth (larger is better). */
+    double speedup = 1.0;
+};
+
+/**
+ * @return indices of Pareto-optimal points (minimal error, maximal
+ * speedup), sorted by increasing error.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<TradeoffPoint> &points);
+
+/** @return true if points[index] is on the Pareto front. */
+bool isParetoOptimal(const std::vector<TradeoffPoint> &points,
+                     std::size_t index);
+
+} // namespace aqsim::harness
+
+#endif // AQSIM_HARNESS_PARETO_HH

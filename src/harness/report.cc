@@ -1,0 +1,103 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/csv.hh"
+#include "base/logging.hh"
+
+namespace aqsim::harness
+{
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    AQSIM_ASSERT(!columns_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    AQSIM_ASSERT(cells.size() == columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c]
+                << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(columns_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &out) const
+{
+    CsvWriter csv(out);
+    csv.header(columns_);
+    for (const auto &row : rows_) {
+        auto &r = csv.row();
+        for (const auto &cell : row)
+            r.field(cell);
+    }
+}
+
+std::string
+fmtPercent(double fraction)
+{
+    char buf[32];
+    if (fraction >= 9.995)
+        std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+    else if (fraction >= 0.0995)
+        std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", x);
+    return buf;
+}
+
+std::string
+fmtDouble(double x, int prec)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, x);
+    return buf;
+}
+
+std::string
+fmtRatio(double x)
+{
+    char buf[32];
+    if (x >= 20.0)
+        std::snprintf(buf, sizeof(buf), "%.0fx", x);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fx", x);
+    return buf;
+}
+
+} // namespace aqsim::harness

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table rendering for the benchmark harnesses: fixed-width text tables
+ * matching the layout of the paper's figures, with optional CSV
+ * emission for plotting.
+ */
+
+#ifndef AQSIM_HARNESS_REPORT_HH
+#define AQSIM_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aqsim::harness
+{
+
+/** A simple fixed-width table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    /** Append one row; cell count must equal the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as aligned text. */
+    void print(std::ostream &out) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &out) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmtPercent(double fraction);   // 0.034 -> "3.4%"
+std::string fmtSpeedup(double x);          // 26.3 -> "26.3x"
+std::string fmtDouble(double x, int prec); // generic
+std::string fmtRatio(double x);            // 150.2 -> "150x"
+
+} // namespace aqsim::harness
+
+#endif // AQSIM_HARNESS_REPORT_HH

@@ -1,0 +1,512 @@
+#include "mpi/communicator.hh"
+
+#include <algorithm>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+
+namespace aqsim::mpi
+{
+
+void
+RecvAwaitable::await_suspend(std::coroutine_handle<> h)
+{
+    ep_.postRecv(this, h);
+}
+
+RecvRequest::RecvRequest(Endpoint &ep, int src, int tag)
+    : ep_(ep), state_(std::make_shared<State>())
+{
+    ep_.postRequest(state_, src, tag);
+}
+
+RecvRequest::~RecvRequest()
+{
+    if (!state_->completed)
+        ep_.cancelRequest(state_);
+}
+
+void
+RecvRequest::await_suspend(std::coroutine_handle<> h)
+{
+    AQSIM_ASSERT(!state_->waiter); // single joiner
+    state_->waiter = h;
+}
+
+Endpoint::Endpoint(Rank rank, std::size_t num_ranks,
+                   node::NodeSimulator &node, EndpointParams params)
+    : rank_(rank), numRanks_(num_ranks), node_(node),
+      queue_(node.queue()), params_(params), sendSeq_(num_ranks, 0),
+      unexpectedBySrc_(num_ranks), pendingRts_(num_ranks),
+      mpiStats_(node.statsGroup().addGroup("mpi")),
+      statMsgsSent_(mpiStats_.add<stats::Scalar>(
+          "msgsSent", "messages sent")),
+      statBytesSent_(mpiStats_.add<stats::Scalar>(
+          "bytesSent", "message payload bytes sent")),
+      statMsgsRecvd_(mpiStats_.add<stats::Scalar>(
+          "msgsRecvd", "messages received and matched")),
+      statRendezvous_(mpiStats_.add<stats::Scalar>(
+          "rendezvous", "messages using the RTS/CTS protocol")),
+      statUnexpected_(mpiStats_.add<stats::Scalar>(
+          "unexpectedHits", "receives satisfied from the unexpected "
+                            "queue")),
+      statLatency_(mpiStats_.add<stats::Log2Distribution>(
+          "messageLatency",
+          "ticks from application send to full arrival"))
+{
+    AQSIM_ASSERT(rank < num_ranks);
+    node_.nic().setRxHandler(
+        [this](const net::PacketPtr &pkt) { handleRx(pkt); });
+}
+
+std::uint32_t
+Endpoint::framePayload() const
+{
+    const auto &nic = node_.nic().params();
+    AQSIM_ASSERT(nic.mtu > params_.frameOverhead);
+    return nic.mtu - params_.frameOverhead;
+}
+
+int
+Endpoint::nextCollectiveTag()
+{
+    // High tag space reserved for collectives; user tags stay below.
+    constexpr int collective_base = 1 << 20;
+    return collective_base + collectiveTagCounter_++;
+}
+
+sim::Process
+Endpoint::send(Rank dst, int tag, std::uint64_t bytes)
+{
+    AQSIM_ASSERT(dst < numRanks_ && dst != rank_);
+    AQSIM_ASSERT(tag >= 0);
+
+    // Identity is assigned when the coroutine body first runs (at
+    // start()), so sequence numbers follow program order even when
+    // sends are forked.
+    MsgHeader hdr;
+    hdr.msgId = (static_cast<std::uint64_t>(rank_ + 1) << 40) |
+                nextMsgId_++;
+    hdr.src = rank_;
+    hdr.dst = dst;
+    hdr.tag = tag;
+    hdr.bytes = bytes;
+    hdr.seq = sendSeq_[dst]++;
+    hdr.sendTick = queue_.now();
+    hdr.seal();
+
+    ++messagesSent_;
+    ++statMsgsSent_;
+    statBytesSent_ += static_cast<double>(bytes);
+
+    // Software overhead plus staging copy into the transport.
+    const auto copy = static_cast<Tick>(
+        static_cast<double>(bytes) / params_.copyBytesPerNs);
+    co_await sim::DelayAwaitable(queue_, params_.sendOverhead + copy);
+
+    if (bytes <= params_.eagerThreshold) {
+        // Eager: fire and forget; local completion semantics.
+        transmitData(hdr);
+        co_return;
+    }
+
+    // Rendezvous: announce, wait for the receiver's clear-to-send,
+    // then stream the data window by window (stalling on the
+    // receiver's flow-control ACK between windows) and block until it
+    // has drained onto the wire (MPI_Send completion semantics).
+    ++rendezvousCount_;
+    ++statRendezvous_;
+    auto trigger = std::make_unique<sim::Trigger>(queue_);
+    sim::Trigger *cts = trigger.get();
+    ctsWaiters_.emplace(hdr.msgId, std::move(trigger));
+    sendControl(ControlPayload::Kind::Rts, hdr, dst);
+
+    co_await cts->wait();
+
+    const std::uint32_t num_frags =
+        fragmentCount(hdr.bytes, framePayload());
+    const std::uint32_t window = windowFragments();
+    for (std::uint32_t first = 0; first < num_frags;
+         first += window) {
+        const std::uint32_t last =
+            std::min(num_frags, first + window);
+        transmitFragments(hdr, first, last, num_frags);
+        if (last < num_frags) {
+            // Stall until the receiver acknowledges this window.
+            auto ack = std::make_unique<sim::Trigger>(queue_);
+            sim::Trigger *ack_ptr = ack.get();
+            ackWaiters_[hdr.msgId] = std::move(ack);
+            co_await ack_ptr->wait();
+        }
+    }
+    const Tick busy_until = node_.nic().txBusyUntil();
+    if (busy_until > queue_.now())
+        co_await sim::DelayAwaitable(queue_, busy_until - queue_.now());
+}
+
+void
+Endpoint::sendControl(ControlPayload::Kind kind, const MsgHeader &header,
+                      Rank to)
+{
+    node_.nic().send(to, params_.ctrlFrameBytes,
+                     std::make_shared<ControlPayload>(kind, header));
+}
+
+std::uint32_t
+Endpoint::windowFragments() const
+{
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(params_.ackWindowBytes /
+                                      framePayload()));
+}
+
+void
+Endpoint::transmitData(const MsgHeader &header)
+{
+    const std::uint32_t num_frags =
+        fragmentCount(header.bytes, framePayload());
+    transmitFragments(header, 0, num_frags, num_frags);
+}
+
+void
+Endpoint::transmitFragments(const MsgHeader &header, std::uint32_t first,
+                            std::uint32_t last, std::uint32_t num_frags)
+{
+    const std::uint32_t payload_cap = framePayload();
+    for (std::uint32_t i = first; i < last; ++i) {
+        // The final fragment carries the remainder.
+        const std::uint64_t offset =
+            static_cast<std::uint64_t>(i) * payload_cap;
+        const auto in_frame = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(header.bytes - offset,
+                                    payload_cap));
+        node_.nic().send(
+            header.dst, in_frame + params_.frameOverhead,
+            std::make_shared<FragmentPayload>(header, i, num_frags));
+    }
+}
+
+void
+Endpoint::handleRx(const net::PacketPtr &pkt)
+{
+    AQSIM_ASSERT(pkt->payload != nullptr);
+    if (auto frag = std::dynamic_pointer_cast<const FragmentPayload>(
+            pkt->payload)) {
+        handleFragment(*frag);
+        return;
+    }
+    if (auto ctrl = std::dynamic_pointer_cast<const ControlPayload>(
+            pkt->payload)) {
+        switch (ctrl->kind) {
+          case ControlPayload::Kind::Rts:
+            handleRts(ctrl->header);
+            break;
+          case ControlPayload::Kind::Cts:
+            handleCts(ctrl->header);
+            break;
+          case ControlPayload::Kind::Ack:
+            handleAck(ctrl->header);
+            break;
+        }
+        return;
+    }
+    panic("endpoint %u received a frame with unknown payload type",
+          rank_);
+}
+
+void
+Endpoint::handleFragment(const FragmentPayload &frag)
+{
+    auto [it, inserted] =
+        rxBuffers_.try_emplace(frag.header.msgId, frag.header);
+    const bool complete = it->second.addFragment(frag);
+    const std::uint32_t received = it->second.received();
+
+    if (complete) {
+        const MsgHeader header = it->second.header();
+        rxBuffers_.erase(it);
+        ackProgress_.erase(header.msgId);
+        messageComplete(header);
+        return;
+    }
+    // Flow control: acknowledge every completed transport window of a
+    // multi-window rendezvous message so the sender can release the
+    // next one (eager messages are below the window size and are
+    // never acknowledged).
+    const std::uint32_t window = windowFragments();
+    if (frag.header.bytes > params_.eagerThreshold &&
+        frag.numFrags > window && received % window == 0) {
+        auto &acked = ackProgress_[frag.header.msgId];
+        if (received > acked) {
+            acked = received;
+            sendControl(ControlPayload::Kind::Ack, frag.header,
+                        frag.header.src);
+        }
+    }
+}
+
+void
+Endpoint::handleAck(const MsgHeader &header)
+{
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u got window ACK msg=%llu",
+                  rank_, static_cast<unsigned long long>(header.msgId));
+    auto it = ackWaiters_.find(header.msgId);
+    if (it == ackWaiters_.end())
+        panic("endpoint %u got ACK for unknown msg %llu", rank_,
+              static_cast<unsigned long long>(header.msgId));
+    it->second->fire();
+    ackWaiters_.erase(it);
+}
+
+void
+Endpoint::messageComplete(const MsgHeader &header)
+{
+    AQSIM_ASSERT(header.dst == rank_);
+    Message msg;
+    msg.src = header.src;
+    msg.tag = header.tag;
+    msg.bytes = header.bytes;
+    msg.completedAt = queue_.now();
+    msg.sentAt = header.sendTick;
+    AQSIM_ASSERT(msg.completedAt >= header.sendTick);
+    statLatency_.sample(msg.completedAt - header.sendTick);
+
+    // Pass 1: a recv bound to exactly this rendezvous message.
+    for (std::size_t i = 0; i < posted_.size(); ++i) {
+        if (posted_[i].boundMsgId == header.msgId) {
+            PostedRecv rec = posted_[i];
+            posted_.erase(posted_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            finishRecv(rec, msg);
+            return;
+        }
+    }
+    // Pass 2: the earliest-posted unbound recv that matches.
+    for (std::size_t i = 0; i < posted_.size(); ++i) {
+        if (posted_[i].boundMsgId == 0 &&
+            matches(posted_[i], header.src, header.tag)) {
+            PostedRecv rec = posted_[i];
+            posted_.erase(posted_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            finishRecv(rec, msg);
+            return;
+        }
+    }
+    // No match: store as unexpected.
+    unexpectedBySrc_[header.src].emplace(header.seq, msg);
+    unexpectedOrder_.emplace_back(header.src, header.seq);
+}
+
+void
+Endpoint::handleRts(const MsgHeader &header)
+{
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u got RTS msg=%llu from %u (%llu bytes)",
+                  rank_, static_cast<unsigned long long>(header.msgId),
+                  header.src,
+                  static_cast<unsigned long long>(header.bytes));
+    // Bind the earliest matching unbound posted recv, if any.
+    for (auto &rec : posted_) {
+        if (rec.boundMsgId == 0 &&
+            matches(rec, header.src, header.tag)) {
+            rec.boundMsgId = header.msgId;
+            sendControl(ControlPayload::Kind::Cts, header, header.src);
+            return;
+        }
+    }
+    pendingRts_[header.src].emplace(header.seq, header);
+    pendingRtsOrder_.emplace_back(header.src, header.seq);
+}
+
+void
+Endpoint::handleCts(const MsgHeader &header)
+{
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u got CTS msg=%llu",
+                  rank_, static_cast<unsigned long long>(header.msgId));
+    auto it = ctsWaiters_.find(header.msgId);
+    if (it == ctsWaiters_.end())
+        panic("endpoint %u got CTS for unknown msg %llu", rank_,
+              static_cast<unsigned long long>(header.msgId));
+    it->second->fire();
+    ctsWaiters_.erase(it);
+}
+
+bool
+Endpoint::matches(const PostedRecv &recv, Rank src, int tag)
+{
+    return (recv.src == anySource ||
+            recv.src == static_cast<int>(src)) &&
+           (recv.tag == anyTag || recv.tag == tag);
+}
+
+void
+Endpoint::finishRecv(PostedRecv &recv, const Message &msg)
+{
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u matched msg from %u tag=%d (%llu bytes)",
+                  rank_, msg.src, msg.tag,
+                  static_cast<unsigned long long>(msg.bytes));
+    ++messagesReceived_;
+    ++statMsgsRecvd_;
+    if (recv.request) {
+        // Non-blocking receive: complete the shared state after the
+        // software overhead; resume a joiner if one is waiting.
+        auto state = recv.request;
+        Message completed = msg;
+        queue_.scheduleIn(params_.recvOverhead, [state, completed] {
+            state->completed = true;
+            state->message = completed;
+            if (state->waiter)
+                state->waiter.resume();
+        });
+        return;
+    }
+    recv.awaitable->result_ = msg;
+    const auto h = recv.waiter;
+    queue_.scheduleIn(params_.recvOverhead, [h] { h.resume(); });
+}
+
+void
+Endpoint::postRecv(RecvAwaitable *aw, std::coroutine_handle<> h)
+{
+    PostedRecv rec;
+    rec.src = aw->src_;
+    rec.tag = aw->tag_;
+    rec.awaitable = aw;
+    rec.waiter = h;
+    postCommon(std::move(rec));
+}
+
+void
+Endpoint::postRequest(std::shared_ptr<RecvRequest::State> state,
+                      int src, int tag)
+{
+    PostedRecv rec;
+    rec.src = src;
+    rec.tag = tag;
+    rec.request = std::move(state);
+    postCommon(std::move(rec));
+}
+
+void
+Endpoint::cancelRequest(
+    const std::shared_ptr<RecvRequest::State> &state)
+{
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (it->request == state) {
+            posted_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Endpoint::postCommon(PostedRecv rec)
+{
+
+    // 1. Already-completed unexpected message?
+    if (rec.src != anySource) {
+        auto &per_src = unexpectedBySrc_[static_cast<Rank>(rec.src)];
+        for (auto it = per_src.begin(); it != per_src.end(); ++it) {
+            if (rec.tag == anyTag || rec.tag == it->second.tag) {
+                const Message msg = it->second;
+                eraseUnexpectedOrder(static_cast<Rank>(rec.src),
+                                     it->first);
+                per_src.erase(it);
+                ++statUnexpected_;
+                finishRecv(rec, msg);
+                return;
+            }
+        }
+    } else {
+        for (auto it = unexpectedOrder_.begin();
+             it != unexpectedOrder_.end(); ++it) {
+            auto &per_src = unexpectedBySrc_[it->first];
+            auto mit = per_src.find(it->second);
+            AQSIM_ASSERT(mit != per_src.end());
+            if (rec.tag == anyTag || rec.tag == mit->second.tag) {
+                const Message msg = mit->second;
+                per_src.erase(mit);
+                unexpectedOrder_.erase(it);
+                ++statUnexpected_;
+                finishRecv(rec, msg);
+                return;
+            }
+        }
+    }
+
+    // 2. Pending rendezvous announcement?
+    if (rec.src != anySource) {
+        auto &per_src = pendingRts_[static_cast<Rank>(rec.src)];
+        for (auto it = per_src.begin(); it != per_src.end(); ++it) {
+            if (rec.tag == anyTag || rec.tag == it->second.tag) {
+                const MsgHeader header = it->second;
+                erasePendingRtsOrder(static_cast<Rank>(rec.src),
+                                     it->first);
+                per_src.erase(it);
+                rec.boundMsgId = header.msgId;
+                posted_.push_back(rec);
+                sendControl(ControlPayload::Kind::Cts, header,
+                            header.src);
+                return;
+            }
+        }
+    } else {
+        for (auto it = pendingRtsOrder_.begin();
+             it != pendingRtsOrder_.end(); ++it) {
+            auto &per_src = pendingRts_[it->first];
+            auto mit = per_src.find(it->second);
+            AQSIM_ASSERT(mit != per_src.end());
+            if (rec.tag == anyTag || rec.tag == mit->second.tag) {
+                const MsgHeader header = mit->second;
+                per_src.erase(mit);
+                pendingRtsOrder_.erase(it);
+                rec.boundMsgId = header.msgId;
+                posted_.push_back(rec);
+                sendControl(ControlPayload::Kind::Cts, header,
+                            header.src);
+                return;
+            }
+        }
+    }
+
+    // 3. Wait for a future arrival.
+    posted_.push_back(rec);
+}
+
+bool
+Endpoint::probe(int src, int tag) const
+{
+    for (const auto &[order_src, order_seq] : unexpectedOrder_) {
+        if (src != anySource && static_cast<Rank>(src) != order_src)
+            continue;
+        const auto &per_src = unexpectedBySrc_[order_src];
+        auto it = per_src.find(order_seq);
+        AQSIM_ASSERT(it != per_src.end());
+        if (tag == anyTag || tag == it->second.tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Endpoint::eraseUnexpectedOrder(Rank src, std::uint64_t seq)
+{
+    auto it = std::find(unexpectedOrder_.begin(), unexpectedOrder_.end(),
+                        std::make_pair(src, seq));
+    AQSIM_ASSERT(it != unexpectedOrder_.end());
+    unexpectedOrder_.erase(it);
+}
+
+void
+Endpoint::erasePendingRtsOrder(Rank src, std::uint64_t seq)
+{
+    auto it = std::find(pendingRtsOrder_.begin(), pendingRtsOrder_.end(),
+                        std::make_pair(src, seq));
+    AQSIM_ASSERT(it != pendingRtsOrder_.end());
+    pendingRtsOrder_.erase(it);
+}
+
+} // namespace aqsim::mpi

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Message-passing endpoint: the guest-side communication library.
+ *
+ * Endpoint models what LAM/MPI over TCP/IP provides to the benchmark
+ * processes in the paper: rank-addressed, tag-matched messages with
+ * blocking semantics, an eager protocol for short messages and a
+ * rendezvous (RTS/CTS) protocol for long ones. Rendezvous handshakes
+ * are real control packets through the simulated network, which is what
+ * makes fine-grained benchmarks (NAS IS) latency-sensitive — the effect
+ * the paper's Section 6 worst case hinges on.
+ *
+ * Usage inside a workload coroutine:
+ *
+ *     co_await ep.send(dst, tag, bytes);            // blocking send
+ *     Message m = co_await ep.recv(src, tag);       // blocking recv
+ *     auto s = ep.send(dst, tag, bytes); s.start(); // async send
+ *     ...                                           // overlap
+ *     co_await std::move(s);                        // join
+ */
+
+#ifndef AQSIM_MPI_COMMUNICATOR_HH
+#define AQSIM_MPI_COMMUNICATOR_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "mpi/message.hh"
+#include "node/node_simulator.hh"
+#include "sim/process.hh"
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+
+namespace aqsim::mpi
+{
+
+class Endpoint;
+
+/**
+ * Awaitable returned by Endpoint::recv(). Suspends the caller until a
+ * matching message has fully arrived, then resumes it after the
+ * receive-side software overhead and yields the Message.
+ */
+class RecvAwaitable
+{
+  public:
+    RecvAwaitable(Endpoint &ep, int src, int tag)
+        : ep_(ep), src_(src), tag_(tag)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Message await_resume() const noexcept { return result_; }
+
+  private:
+    friend class Endpoint;
+
+    Endpoint &ep_;
+    int src_;
+    int tag_;
+    Message result_;
+};
+
+/**
+ * A non-blocking receive (MPI_Irecv): posting registers the match
+ * immediately; awaiting joins it. The request object owns the posted
+ * state and must outlive the await.
+ *
+ *     auto req = ep.irecv(src, tag);   // posted now
+ *     ...unrelated work...
+ *     mpi::Message m = co_await req;   // join
+ */
+class RecvRequest
+{
+  public:
+    RecvRequest(Endpoint &ep, int src, int tag);
+
+    RecvRequest(const RecvRequest &) = delete;
+    RecvRequest &operator=(const RecvRequest &) = delete;
+    RecvRequest(RecvRequest &&) = delete;
+    RecvRequest &operator=(RecvRequest &&) = delete;
+    ~RecvRequest();
+
+    /** @return true once the message has arrived and matched. */
+    bool ready() const { return state_->completed; }
+
+    bool await_ready() const noexcept { return state_->completed; }
+    void await_suspend(std::coroutine_handle<> h);
+    Message await_resume() const noexcept { return state_->message; }
+
+  private:
+    friend class Endpoint;
+
+    /** Heap state shared with the endpoint's posted list. */
+    struct State
+    {
+        bool completed = false;
+        Message message;
+        std::coroutine_handle<> waiter;
+    };
+
+    Endpoint &ep_;
+    std::shared_ptr<State> state_;
+};
+
+/** Protocol and software-overhead parameters (LAM/TCP-flavoured). */
+struct EndpointParams
+{
+    /** Messages above this use the rendezvous protocol. */
+    std::uint64_t eagerThreshold = 64 * 1024;
+    /**
+     * TCP-style flow-control window for rendezvous data: the sender
+     * transmits this many bytes, then stalls until the receiver's
+     * ACK control frame arrives. Long transfers therefore take one
+     * network round trip per window — the dependence chains that
+     * amplify quantum-induced latency error (NAS IS worst case).
+     */
+    std::uint64_t ackWindowBytes = 64 * 1024;
+    /** Send-side software overhead per message. */
+    Tick sendOverhead = 400;
+    /** Receive-side software overhead per message. */
+    Tick recvOverhead = 400;
+    /** Memory staging bandwidth for send-side copies (bytes/ns). */
+    double copyBytesPerNs = 6.0;
+    /** Per-frame protocol header bytes (Ethernet + IP + TCP). */
+    std::uint32_t frameOverhead = 78;
+    /** Size of RTS/CTS control frames. */
+    std::uint32_t ctrlFrameBytes = 80;
+};
+
+/**
+ * One rank's communication endpoint, bound to its node's NIC and event
+ * queue.
+ */
+class Endpoint
+{
+  public:
+    Endpoint(Rank rank, std::size_t num_ranks,
+             node::NodeSimulator &node, EndpointParams params);
+
+    Rank rank() const { return rank_; }
+    std::size_t numRanks() const { return numRanks_; }
+    sim::EventQueue &queue() { return queue_; }
+    const EndpointParams &params() const { return params_; }
+
+    /**
+     * Blocking send of @p bytes to rank @p dst with tag @p tag.
+     * Completes (resumes the caller) when the message has been handed
+     * off locally (eager) or fully transmitted after the rendezvous
+     * handshake (long messages) — MPI_Send semantics.
+     */
+    sim::Process send(Rank dst, int tag, std::uint64_t bytes);
+
+    /** Blocking receive matching (src|anySource, tag|anyTag). */
+    RecvAwaitable
+    recv(int src, int tag)
+    {
+        return RecvAwaitable(*this, src, tag);
+    }
+
+    /**
+     * Non-blocking receive: posts the match immediately, join with
+     * co_await on the returned request. Destroying an unmatched
+     * request cancels the posted receive.
+     */
+    RecvRequest
+    irecv(int src, int tag)
+    {
+        return RecvRequest(*this, src, tag);
+    }
+
+    /**
+     * Non-consuming probe (MPI_Iprobe): @return true if a completed,
+     * still-unmatched message matching (src|anySource, tag|anyTag) is
+     * waiting in the unexpected queue.
+     */
+    bool probe(int src, int tag) const;
+
+    /**
+     * Allocate the tag for the next collective operation. All ranks
+     * execute the same collective sequence (SPMD), so counters agree
+     * cluster-wide.
+     */
+    int nextCollectiveTag();
+
+    /** Diagnostics for deadlock reports. */
+    std::size_t postedRecvCount() const { return posted_.size(); }
+    std::size_t unexpectedCount() const { return unexpectedOrder_.size(); }
+
+    /** Lifetime message counters. */
+    std::uint64_t messagesSent() const { return messagesSent_; }
+    std::uint64_t messagesReceived() const { return messagesReceived_; }
+    std::uint64_t rendezvousCount() const { return rendezvousCount_; }
+
+  private:
+    friend class RecvAwaitable;
+    friend class RecvRequest;
+
+    struct PostedRecv
+    {
+        int src;
+        int tag;
+        /** Non-zero once bound to a specific rendezvous message. */
+        std::uint64_t boundMsgId = 0;
+        /** Blocking-recv completion target. */
+        RecvAwaitable *awaitable = nullptr;
+        std::coroutine_handle<> waiter;
+        /** Non-blocking-recv completion target. */
+        std::shared_ptr<RecvRequest::State> request;
+    };
+
+    /** NIC receive handler: dispatch on payload type. */
+    void handleRx(const net::PacketPtr &pkt);
+    void handleFragment(const FragmentPayload &frag);
+    void handleRts(const MsgHeader &header);
+    void handleCts(const MsgHeader &header);
+    void handleAck(const MsgHeader &header);
+
+    /** A message fully arrived: match it or store it as unexpected. */
+    void messageComplete(const MsgHeader &header);
+
+    /** Register a posted receive (called by RecvAwaitable). */
+    void postRecv(RecvAwaitable *aw, std::coroutine_handle<> h);
+
+    /** Register a non-blocking receive (called by RecvRequest). */
+    void postRequest(std::shared_ptr<RecvRequest::State> state, int src,
+                     int tag);
+
+    /** Drop an unmatched non-blocking receive (request destroyed). */
+    void cancelRequest(const std::shared_ptr<RecvRequest::State> &state);
+
+    /**
+     * Common posting path: try the unexpected queue, then pending
+     * RTS announcements, else append to the posted list.
+     */
+    void postCommon(PostedRecv rec);
+
+    /** Complete a posted recv with a message at now()+recvOverhead. */
+    void finishRecv(PostedRecv &recv, const Message &msg);
+
+    /** Send an RTS/CTS control frame. */
+    void sendControl(ControlPayload::Kind kind, const MsgHeader &header,
+                     Rank to);
+
+    /** Enqueue all data fragments of a message on the NIC. */
+    void transmitData(const MsgHeader &header);
+
+    /** Enqueue fragments [first, last) of a message on the NIC. */
+    void transmitFragments(const MsgHeader &header, std::uint32_t first,
+                           std::uint32_t last, std::uint32_t num_frags);
+
+    /** Fragments per flow-control window. */
+    std::uint32_t windowFragments() const;
+
+    /** Does (src,tag) of a message match a recv pattern? */
+    static bool matches(const PostedRecv &recv, Rank src, int tag);
+
+    /** Drop a consumed entry from the completion-order deques. */
+    void eraseUnexpectedOrder(Rank src, std::uint64_t seq);
+    void erasePendingRtsOrder(Rank src, std::uint64_t seq);
+
+    /** Fragmented payload capacity per frame. */
+    std::uint32_t framePayload() const;
+
+    Rank rank_;
+    std::size_t numRanks_;
+    node::NodeSimulator &node_;
+    sim::EventQueue &queue_;
+    EndpointParams params_;
+
+    /** Per-destination send sequence numbers. */
+    std::vector<std::uint64_t> sendSeq_;
+    std::uint64_t nextMsgId_ = 1;
+    int collectiveTagCounter_ = 0;
+
+    /** In-flight inbound reassembly, by msgId. */
+    std::map<std::uint64_t, RxBuffer> rxBuffers_;
+    /** Completed unmatched messages: per source, by send seq. */
+    std::vector<std::map<std::uint64_t, Message>> unexpectedBySrc_;
+    /** (src, seq) in completion order, for anySource matching. */
+    std::deque<std::pair<Rank, std::uint64_t>> unexpectedOrder_;
+    /** RTS received with no matching recv posted yet: per src by seq. */
+    std::vector<std::map<std::uint64_t, MsgHeader>> pendingRts_;
+    /** (src, seq) RTS arrival order, for anySource matching. */
+    std::deque<std::pair<Rank, std::uint64_t>> pendingRtsOrder_;
+    /** Posted receives in post order. */
+    std::deque<PostedRecv> posted_;
+    /** Senders blocked waiting for CTS, by msgId. */
+    std::map<std::uint64_t, std::unique_ptr<sim::Trigger>> ctsWaiters_;
+    /** Senders blocked waiting for a window ACK, by msgId. */
+    std::map<std::uint64_t, std::unique_ptr<sim::Trigger>> ackWaiters_;
+    /** Inbound fragment counts pending the next window ACK. */
+    std::map<std::uint64_t, std::uint32_t> ackProgress_;
+
+    std::uint64_t messagesSent_ = 0;
+    std::uint64_t messagesReceived_ = 0;
+    std::uint64_t rendezvousCount_ = 0;
+
+    stats::Group &mpiStats_;
+    stats::Scalar &statMsgsSent_;
+    stats::Scalar &statBytesSent_;
+    stats::Scalar &statMsgsRecvd_;
+    stats::Scalar &statRendezvous_;
+    stats::Scalar &statUnexpected_;
+    stats::Log2Distribution &statLatency_;
+};
+
+} // namespace aqsim::mpi
+
+#endif // AQSIM_MPI_COMMUNICATOR_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Message-layer wire format: headers, fragments, control packets.
+ *
+ * The mpi layer segments messages into MTU-sized frames, reassembles
+ * them at the receiver, and verifies integrity via a per-message
+ * checksum carried on every fragment. We model payload *shape* (sizes,
+ * ordering, identity) rather than payload *content*; the checksum makes
+ * the transport functionally verifiable end to end.
+ */
+
+#ifndef AQSIM_MPI_MESSAGE_HH
+#define AQSIM_MPI_MESSAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/packet.hh"
+
+namespace aqsim::mpi
+{
+
+/** Matches any source rank in recv(). */
+constexpr int anySource = -1;
+/** Matches any tag in recv(). */
+constexpr int anyTag = -1;
+
+/** Identity and shape of one message. */
+struct MsgHeader
+{
+    /** Cluster-unique message id. */
+    std::uint64_t msgId = 0;
+    Rank src = 0;
+    Rank dst = 0;
+    int tag = 0;
+    /** Total payload bytes. */
+    std::uint64_t bytes = 0;
+    /** Per-(src,dst) send sequence number (MPI ordering). */
+    std::uint64_t seq = 0;
+    /** Tick at which the application issued the send. */
+    Tick sendTick = 0;
+    /** Integrity checksum over the identity fields. */
+    std::uint64_t checksum = 0;
+
+    /** Compute the expected checksum for the other fields. */
+    std::uint64_t expectedChecksum() const;
+
+    /** Fill in the checksum field. */
+    void seal();
+
+    /** @return true if the checksum matches the identity fields. */
+    bool verify() const;
+};
+
+/** One data fragment of a segmented message. */
+class FragmentPayload : public net::Payload
+{
+  public:
+    FragmentPayload(MsgHeader header, std::uint32_t index,
+                    std::uint32_t total)
+        : header(header), fragIndex(index), numFrags(total)
+    {}
+
+    MsgHeader header;
+    std::uint32_t fragIndex;
+    std::uint32_t numFrags;
+};
+
+/** Rendezvous-protocol control packets. */
+class ControlPayload : public net::Payload
+{
+  public:
+    enum class Kind
+    {
+        /** Request to send: large message announced by the sender. */
+        Rts,
+        /** Clear to send: receiver has a matching buffer posted. */
+        Cts,
+        /**
+         * Flow-control acknowledgment: one transport window of a long
+         * message fully received (TCP-style windowing; the source of
+         * the per-window round trips that make bulk transfers
+         * latency-sensitive).
+         */
+        Ack,
+    };
+
+    ControlPayload(Kind kind, MsgHeader header)
+        : kind(kind), header(header)
+    {}
+
+    Kind kind;
+    MsgHeader header;
+};
+
+/** A fully received, verified message as seen by the application. */
+struct Message
+{
+    Rank src = 0;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    /** Tick at which the last fragment was delivered. */
+    Tick completedAt = 0;
+    /** Tick at which the sender's application issued the send. */
+    Tick sentAt = 0;
+
+    /** Observed end-to-end latency (send to full arrival). */
+    Tick
+    latency() const
+    {
+        return completedAt - sentAt;
+    }
+};
+
+/**
+ * Reassembly state of one in-flight inbound message.
+ */
+class RxBuffer
+{
+  public:
+    explicit RxBuffer(const MsgHeader &header);
+
+    /**
+     * Account one fragment.
+     * @return true if the message is now complete.
+     */
+    bool addFragment(const FragmentPayload &frag);
+
+    const MsgHeader &header() const { return header_; }
+    std::uint32_t received() const { return received_; }
+    std::uint32_t expected() const { return numFrags_; }
+
+  private:
+    MsgHeader header_;
+    std::uint32_t numFrags_;
+    std::uint32_t received_ = 0;
+    std::vector<bool> seen_;
+};
+
+/** Number of MTU-sized fragments for a message of @p bytes. */
+std::uint32_t fragmentCount(std::uint64_t bytes, std::uint32_t mtu);
+
+} // namespace aqsim::mpi
+
+#endif // AQSIM_MPI_MESSAGE_HH

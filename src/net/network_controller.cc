@@ -1,0 +1,150 @@
+#include "net/network_controller.hh"
+
+#include <cmath>
+
+#include "base/debug.hh"
+#include "base/logging.hh"
+
+namespace aqsim::net
+{
+
+Tick
+NicParams::serialization(std::uint32_t bytes) const
+{
+    AQSIM_ASSERT(bytesPerNs > 0.0);
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / bytesPerNs));
+}
+
+NetworkController::NetworkController(std::size_t num_nodes,
+                                     NetworkParams params,
+                                     stats::Group &stats_parent)
+    : numNodes_(num_nodes), params_(std::move(params)),
+      statsGroup_(stats_parent.addGroup("network")),
+      statPackets_(statsGroup_.add<stats::Scalar>(
+          "packets", "frames routed through the controller")),
+      statBytes_(statsGroup_.add<stats::Scalar>(
+          "bytes", "bytes routed through the controller")),
+      statStragglers_(statsGroup_.add<stats::Scalar>(
+          "stragglers", "frames delivered after their ideal arrival")),
+      statNextQuantum_(statsGroup_.add<stats::Scalar>(
+          "nextQuantumDeliveries",
+          "frames queued to the next quantum boundary (Fig. 3d)")),
+      statLateness_(statsGroup_.add<stats::Log2Distribution>(
+          "latenessTicks", "straggler lateness (actual - ideal), ticks")),
+      statQuantumPackets_(statsGroup_.add<stats::Average>(
+          "quantumPackets", "frames observed per quantum"))
+{
+    AQSIM_ASSERT(num_nodes >= 1);
+    switch_ = params_.switchModel
+                  ? params_.switchModel
+                  : std::make_shared<PerfectSwitch>();
+}
+
+void
+NetworkController::setScheduler(DeliveryScheduler *scheduler)
+{
+    scheduler_ = scheduler;
+}
+
+void
+NetworkController::addObserver(PacketObserver observer)
+{
+    observers_.push_back(std::move(observer));
+}
+
+Tick
+NetworkController::minNetworkLatency() const
+{
+    // Smallest possible frame: assume 64-byte minimum Ethernet frame.
+    constexpr std::uint32_t min_frame = 64;
+    return params_.nic.txLatency + switch_->minTraversal() +
+           params_.nic.rxLatency + params_.nic.serialization(min_frame);
+}
+
+void
+NetworkController::beginQuantum()
+{
+    statQuantumPackets_.sample(
+        static_cast<double>(packetsThisQuantum_));
+    packetsThisQuantum_ = 0;
+}
+
+void
+NetworkController::inject(const PacketPtr &pkt)
+{
+    std::lock_guard<std::mutex> lock(injectMutex_);
+    AQSIM_ASSERT(scheduler_ != nullptr);
+    AQSIM_ASSERT(pkt->src < numNodes_);
+    AQSIM_ASSERT(pkt->departTick >= pkt->sendTick);
+
+    if (pkt->dst == broadcastNode) {
+        for (NodeId n = 0; n < numNodes_; ++n) {
+            if (n == pkt->src)
+                continue;
+            auto copy = std::make_shared<Packet>(*pkt);
+            copy->dst = n;
+            routeOne(copy);
+        }
+        return;
+    }
+    AQSIM_ASSERT(pkt->dst < numNodes_);
+    AQSIM_ASSERT(pkt->dst != pkt->src);
+    routeOne(pkt);
+}
+
+void
+NetworkController::routeOne(const PacketPtr &pkt)
+{
+    pkt->id = nextPacketId_++;
+    pkt->idealArrival =
+        switch_->egress(pkt->src, pkt->dst, pkt->bytes, pkt->departTick) +
+        params_.nic.rxLatency;
+
+    DeliveryKind kind = DeliveryKind::OnTime;
+    const Tick actual = scheduler_->place(pkt, kind);
+    AQSIM_ASSERT(actual >= pkt->idealArrival ||
+                 kind == DeliveryKind::OnTime);
+
+    ++packetsThisQuantum_;
+    ++totalPackets_;
+    ++statPackets_;
+    statBytes_ += pkt->bytes;
+
+    if (kind != DeliveryKind::OnTime) {
+        const auto lateness =
+            static_cast<std::uint64_t>(actual - pkt->idealArrival);
+        totalLatenessTicks_ += lateness;
+        statLateness_.sample(lateness);
+        ++totalStragglers_;
+        ++statStragglers_;
+        if (kind == DeliveryKind::NextQuantum) {
+            ++totalNextQuantum_;
+            ++statNextQuantum_;
+        }
+    }
+
+    AQSIM_DPRINTF(Packet, actual, "net", "%s -> delivered@%llu%s",
+                  pkt->toString().c_str(),
+                  static_cast<unsigned long long>(actual),
+                  kind == DeliveryKind::OnTime
+                      ? ""
+                      : (kind == DeliveryKind::Straggler
+                             ? " STRAGGLER"
+                             : " NEXT-QUANTUM"));
+
+    for (const auto &observer : observers_)
+        observer(*pkt, actual);
+}
+
+void
+NetworkController::reset()
+{
+    switch_->reset();
+    nextPacketId_ = 1;
+    packetsThisQuantum_ = 0;
+    totalPackets_ = totalStragglers_ = totalNextQuantum_ = 0;
+    totalLatenessTicks_ = 0;
+}
+
+} // namespace aqsim::net

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The centralized network controller.
+ *
+ * This is the paper's "network controller": the component every node
+ * NIC bridges its simulated packets to, "responsible for routing packets
+ * to and from the simulated nodes". It acts as a perfect link-layer
+ * switch functionally, adds timing through a pluggable SwitchModel, and
+ * is the observation point for the adaptive quantum algorithm (it counts
+ * the packets seen in each quantum).
+ *
+ * Placement of a delivery into the destination node is delegated to a
+ * DeliveryScheduler implemented by the execution engine, because only
+ * the engine knows how far the receiver has progressed in host time
+ * (the straggler question).
+ */
+
+#ifndef AQSIM_NET_NETWORK_CONTROLLER_HH
+#define AQSIM_NET_NETWORK_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/packet.hh"
+#include "net/switch_model.hh"
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+
+namespace aqsim::net
+{
+
+/** How a delivery was placed relative to its ideal arrival tick. */
+enum class DeliveryKind
+{
+    /** Scheduled at the exact ideal arrival tick. */
+    OnTime,
+    /**
+     * The receiver had already simulated past the ideal arrival; the
+     * packet was delivered at the receiver's current position
+     * (a straggler, paper Fig. 3b/3c discussion).
+     */
+    Straggler,
+    /**
+     * The receiver had already finished its quantum; the packet was
+     * queued to the next quantum boundary (paper Fig. 3d: "latency
+     * snaps to next quantum").
+     */
+    NextQuantum,
+};
+
+/**
+ * Engine-side placement of packet deliveries. The controller computes
+ * *when* a packet should arrive; the scheduler knows *where the receiver
+ * is* and places the corresponding receive event.
+ */
+class DeliveryScheduler
+{
+  public:
+    virtual ~DeliveryScheduler() = default;
+
+    /**
+     * Place the delivery of @p pkt into node pkt->dst. pkt->idealArrival
+     * holds the physically correct arrival tick.
+     *
+     * @param kind (out) how the delivery was placed
+     * @return the actual delivery tick (>= any tick the receiver has
+     *         already simulated)
+     */
+    virtual Tick place(const PacketPtr &pkt, DeliveryKind &kind) = 0;
+};
+
+/** Observer of routed packets (tracing / visualization). */
+using PacketObserver =
+    std::function<void(const Packet &, Tick actual_tick)>;
+
+/** Fixed timing parameters of every node NIC (paper section 4). */
+struct NicParams
+{
+    /** Host-to-wire latency of the sending NIC. */
+    Tick txLatency = 500;
+    /** Wire-to-host latency of the receiving NIC. */
+    Tick rxLatency = 500;
+    /** Serialization bandwidth in bytes per ns (10.0 = 10 GB/s). */
+    double bytesPerNs = 10.0;
+    /** Maximum frame size (jumbo Ethernet). */
+    std::uint32_t mtu = 9000;
+    /** Per-frame software/DMA overhead on the send side. */
+    Tick txOverhead = 100;
+
+    /** Serialization delay of a frame of @p bytes. */
+    Tick serialization(std::uint32_t bytes) const;
+};
+
+/** Configuration of the network controller. */
+struct NetworkParams
+{
+    NicParams nic;
+    /** nullptr selects a PerfectSwitch. */
+    std::shared_ptr<SwitchModel> switchModel;
+};
+
+/**
+ * Centralized functional + timing network simulator for the cluster.
+ */
+class NetworkController
+{
+  public:
+    /**
+     * @param num_nodes cluster size
+     * @param params NIC + switch timing configuration
+     * @param stats_parent group under which controller stats register
+     */
+    NetworkController(std::size_t num_nodes, NetworkParams params,
+                      stats::Group &stats_parent);
+
+    /** Bind the engine's delivery scheduler (required before inject). */
+    void setScheduler(DeliveryScheduler *scheduler);
+
+    /** Register an observer called for every routed packet. */
+    void addObserver(PacketObserver observer);
+
+    /**
+     * Inject a frame from a source NIC. pkt->departTick must be set by
+     * the NIC (send tick + tx overhead + serialization + tx latency).
+     * Broadcast destinations are replicated to every other node.
+     * Thread-safe: concurrent injections from node threads serialize
+     * on an internal mutex (the ThreadedEngine path).
+     */
+    void inject(const PacketPtr &pkt);
+
+    /**
+     * @return the minimum possible end-to-end latency T; quanta
+     * Q <= T are safe (straggler-free), per the paper's safety rule.
+     */
+    Tick minNetworkLatency() const;
+
+    /** Start a new quantum: reset the per-quantum packet counter. */
+    void beginQuantum();
+
+    /** @return packets routed since the last beginQuantum(). */
+    std::uint64_t packetsThisQuantum() const
+    {
+        return packetsThisQuantum_;
+    }
+
+    /** Lifetime counters (for tests and the harness). */
+    std::uint64_t totalPackets() const { return totalPackets_; }
+    std::uint64_t totalStragglers() const { return totalStragglers_; }
+    std::uint64_t totalNextQuantum() const { return totalNextQuantum_; }
+
+    /** Sum over stragglers of (actual - ideal) delivery ticks. */
+    std::uint64_t totalLatenessTicks() const
+    {
+        return totalLatenessTicks_;
+    }
+
+    std::size_t numNodes() const { return numNodes_; }
+    const NicParams &nicParams() const { return params_.nic; }
+
+    /** Reset all per-run state (switch ports, counters). */
+    void reset();
+
+  private:
+    /** Route a single unicast frame. */
+    void routeOne(const PacketPtr &pkt);
+
+    std::size_t numNodes_;
+    /** Serializes concurrent injections (ThreadedEngine). */
+    std::mutex injectMutex_;
+    NetworkParams params_;
+    std::shared_ptr<SwitchModel> switch_;
+    DeliveryScheduler *scheduler_ = nullptr;
+    std::vector<PacketObserver> observers_;
+
+    std::uint64_t nextPacketId_ = 1;
+    std::uint64_t packetsThisQuantum_ = 0;
+    std::uint64_t totalPackets_ = 0;
+    std::uint64_t totalStragglers_ = 0;
+    std::uint64_t totalNextQuantum_ = 0;
+    std::uint64_t totalLatenessTicks_ = 0;
+
+    stats::Group &statsGroup_;
+    stats::Scalar &statPackets_;
+    stats::Scalar &statBytes_;
+    stats::Scalar &statStragglers_;
+    stats::Scalar &statNextQuantum_;
+    stats::Log2Distribution &statLateness_;
+    stats::Average &statQuantumPackets_;
+};
+
+} // namespace aqsim::net
+
+#endif // AQSIM_NET_NETWORK_CONTROLLER_HH

@@ -1,0 +1,36 @@
+#include "net/packet.hh"
+
+#include <cstdio>
+
+namespace aqsim::net
+{
+
+std::string
+Packet::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "pkt#%llu %u->%u %uB send=%llu depart=%llu arrive=%llu",
+                  static_cast<unsigned long long>(id), src, dst, bytes,
+                  static_cast<unsigned long long>(sendTick),
+                  static_cast<unsigned long long>(departTick),
+                  static_cast<unsigned long long>(idealArrival));
+    return buf;
+}
+
+PacketPtr
+makePacket(NodeId src, NodeId dst, std::uint32_t bytes, Tick send_tick,
+           PayloadPtr payload)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->bytes = bytes;
+    pkt->sendTick = send_tick;
+    pkt->departTick = send_tick;
+    pkt->idealArrival = send_tick;
+    pkt->payload = std::move(payload);
+    return pkt;
+}
+
+} // namespace aqsim::net

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Network packets exchanged between simulated nodes.
+ *
+ * A Packet is the unit the network controller routes and times: one
+ * link-layer (jumbo Ethernet) frame. Higher layers (mpi/) segment
+ * messages into packets and attach an opaque payload for reassembly.
+ */
+
+#ifndef AQSIM_NET_PACKET_HH
+#define AQSIM_NET_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/types.hh"
+
+namespace aqsim::net
+{
+
+/** Base class for opaque payloads carried by packets. */
+class Payload
+{
+  public:
+    virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/** One link-layer frame in flight between two nodes. */
+struct Packet
+{
+    /** Globally unique id (assigned by the controller at injection). */
+    std::uint64_t id = 0;
+
+    NodeId src = 0;
+    NodeId dst = 0;
+
+    /** Frame size in bytes (headers included), <= MTU. */
+    std::uint32_t bytes = 0;
+
+    /** Tick at which the sending application handed data to the NIC. */
+    Tick sendTick = 0;
+
+    /**
+     * Tick at which the frame left the source NIC: sendTick plus queueing
+     * and serialization delay. The originating timestamp the paper tags
+     * packets with.
+     */
+    Tick departTick = 0;
+
+    /**
+     * The physically correct arrival tick at the destination:
+     * departTick + switch latency + destination NIC latency. Delivery at
+     * any later tick is a straggler effect.
+     */
+    Tick idealArrival = 0;
+
+    /** Upper-layer payload (e.g. an MPI message fragment). */
+    PayloadPtr payload;
+
+    /** Human-readable one-line summary for debugging. */
+    std::string toString() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Convenience factory. */
+PacketPtr makePacket(NodeId src, NodeId dst, std::uint32_t bytes,
+                     Tick send_tick, PayloadPtr payload = nullptr);
+
+} // namespace aqsim::net
+
+#endif // AQSIM_NET_PACKET_HH

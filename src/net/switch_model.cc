@@ -1,0 +1,39 @@
+#include "net/switch_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace aqsim::net
+{
+
+StoreAndForwardSwitch::StoreAndForwardSwitch(std::size_t num_ports,
+                                             double bytes_per_ns,
+                                             Tick traversal)
+    : bytesPerNs_(bytes_per_ns), traversal_(traversal),
+      portBusyUntil_(num_ports, 0)
+{
+    AQSIM_ASSERT(bytes_per_ns > 0.0);
+}
+
+Tick
+StoreAndForwardSwitch::egress(NodeId, NodeId dst, std::uint32_t bytes,
+                              Tick ingress)
+{
+    AQSIM_ASSERT(dst < portBusyUntil_.size());
+    const Tick start =
+        std::max(ingress + traversal_, portBusyUntil_[dst]);
+    const auto ser = static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / bytesPerNs_));
+    portBusyUntil_[dst] = start + ser;
+    return portBusyUntil_[dst];
+}
+
+void
+StoreAndForwardSwitch::reset()
+{
+    std::fill(portBusyUntil_.begin(), portBusyUntil_.end(), 0);
+}
+
+} // namespace aqsim::net

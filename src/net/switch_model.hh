@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timing models for the simulated network switch.
+ *
+ * The network controller is the paper's centralized functional switch;
+ * a SwitchModel adds the timing component ("we can model any kind of
+ * network/switch/router topology by making packets take more or less
+ * simulated time to reach their endpoints").
+ *
+ * PerfectSwitch reproduces the paper's evaluation configuration:
+ * infinite bandwidth, zero latency — the most aggressive (straggler-
+ * heavy) case. StoreAndForwardSwitch adds per-output-port serialization
+ * and a fixed traversal latency for ablation studies.
+ */
+
+#ifndef AQSIM_NET_SWITCH_MODEL_HH
+#define AQSIM_NET_SWITCH_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace aqsim::net
+{
+
+/** Abstract switch timing model. */
+class SwitchModel
+{
+  public:
+    virtual ~SwitchModel() = default;
+
+    /**
+     * Compute when a frame that enters the switch at @p ingress
+     * becomes available at the destination port.
+     *
+     * The model may keep per-port state (occupancy), so calls must be
+     * made in nondecreasing ingress order per port for contention to be
+     * meaningful; the controller guarantees injection order only within
+     * a quantum, which is the same fidelity the paper's controller has.
+     *
+     * @param src source node
+     * @param dst destination node
+     * @param bytes frame size
+     * @param ingress tick the frame enters the switch
+     * @return tick the frame exits toward dst
+     */
+    virtual Tick egress(NodeId src, NodeId dst, std::uint32_t bytes,
+                        Tick ingress) = 0;
+
+    /**
+     * @return a lower bound on switch traversal time for any frame;
+     * contributes to the minimum network latency T that bounds the safe
+     * synchronization quantum.
+     */
+    virtual Tick minTraversal() const = 0;
+
+    /** Reset per-port state between runs. */
+    virtual void reset() {}
+};
+
+/** Zero-latency, infinite-bandwidth switch (the paper's setup). */
+class PerfectSwitch : public SwitchModel
+{
+  public:
+    Tick
+    egress(NodeId, NodeId, std::uint32_t, Tick ingress) override
+    {
+        return ingress;
+    }
+
+    Tick minTraversal() const override { return 0; }
+};
+
+/**
+ * Output-queued store-and-forward switch: a frame is fully received,
+ * then serialized onto the destination port at the port bandwidth after
+ * a fixed traversal latency; frames to the same destination queue up.
+ */
+class StoreAndForwardSwitch : public SwitchModel
+{
+  public:
+    /**
+     * @param num_ports number of nodes attached
+     * @param bytes_per_ns port bandwidth (e.g. 10.0 for 10 GB/s)
+     * @param traversal fixed switching latency per frame
+     */
+    StoreAndForwardSwitch(std::size_t num_ports, double bytes_per_ns,
+                          Tick traversal);
+
+    Tick egress(NodeId src, NodeId dst, std::uint32_t bytes,
+                Tick ingress) override;
+
+    Tick minTraversal() const override { return traversal_; }
+
+    void reset() override;
+
+  private:
+    double bytesPerNs_;
+    Tick traversal_;
+    /** Tick until which each output port is busy serializing. */
+    std::vector<Tick> portBusyUntil_;
+};
+
+} // namespace aqsim::net
+
+#endif // AQSIM_NET_SWITCH_MODEL_HH

@@ -1,0 +1,32 @@
+#include "node/node_simulator.hh"
+
+#include <string>
+
+#include "base/logging.hh"
+
+namespace aqsim::node
+{
+
+NodeSimulator::NodeSimulator(NodeId id, std::unique_ptr<CpuModel> cpu,
+                             net::NetworkController &controller,
+                             stats::Group &stats_parent)
+    : id_(id),
+      statsGroup_(stats_parent.addGroup("node" + std::to_string(id))),
+      cpu_(std::move(cpu)), nic_(id, queue_, controller, statsGroup_)
+{
+    AQSIM_ASSERT(cpu_ != nullptr);
+}
+
+void
+NodeSimulator::setProgram(sim::Process program)
+{
+    AQSIM_ASSERT(program.valid());
+    program_ = std::move(program);
+    program_.onDone([this] {
+        appDone_ = true;
+        appFinishTick_ = queue_.now();
+    });
+    queue_.schedule(0, [this] { program_.start(); });
+}
+
+} // namespace aqsim::node

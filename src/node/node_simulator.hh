@@ -1,0 +1,75 @@
+/**
+ * @file
+ * One simulated cluster node.
+ *
+ * A NodeSimulator bundles what the paper's full-system simulator
+ * instance provides to the synchronization layer: a private event
+ * queue (simulated clock), a CPU timing model, a NIC bridged to the
+ * network controller, and the guest application (a coroutine program
+ * installed by the workload).
+ */
+
+#ifndef AQSIM_NODE_NODE_SIMULATOR_HH
+#define AQSIM_NODE_NODE_SIMULATOR_HH
+
+#include <memory>
+
+#include "base/types.hh"
+#include "node/cpu_model.hh"
+#include "node/nic_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/process.hh"
+#include "stats/stats.hh"
+
+namespace aqsim::node
+{
+
+/** A full simulated node: clock + CPU + NIC + guest program. */
+class NodeSimulator
+{
+  public:
+    /**
+     * @param id dense node id
+     * @param cpu CPU timing model (ownership transferred)
+     * @param controller the cluster network controller
+     * @param stats_parent cluster stats root; a "nodeN" group is added
+     */
+    NodeSimulator(NodeId id, std::unique_ptr<CpuModel> cpu,
+                  net::NetworkController &controller,
+                  stats::Group &stats_parent);
+
+    NodeId id() const { return id_; }
+    sim::EventQueue &queue() { return queue_; }
+    const sim::EventQueue &queue() const { return queue_; }
+    CpuModel &cpu() { return *cpu_; }
+    NicModel &nic() { return nic_; }
+    stats::Group &statsGroup() { return statsGroup_; }
+
+    /**
+     * Install the guest program. The process is started through an
+     * event at tick 0, so the first instructions execute inside the
+     * node's own event context.
+     */
+    void setProgram(sim::Process program);
+
+    /** @return true once the guest program ran to completion. */
+    bool appDone() const { return appDone_; }
+
+    /** @return tick at which the guest program completed. */
+    Tick appFinishTick() const { return appFinishTick_; }
+
+  private:
+    NodeId id_;
+    stats::Group &statsGroup_;
+    sim::EventQueue queue_;
+    std::unique_ptr<CpuModel> cpu_;
+    NicModel nic_;
+
+    sim::Process program_;
+    bool appDone_ = false;
+    Tick appFinishTick_ = 0;
+};
+
+} // namespace aqsim::node
+
+#endif // AQSIM_NODE_NODE_SIMULATOR_HH

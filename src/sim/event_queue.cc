@@ -1,0 +1,110 @@
+#include "sim/event_queue.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace aqsim::sim
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb, Priority prio)
+{
+    AQSIM_ASSERT(when >= now_);
+    AQSIM_ASSERT(cb != nullptr);
+    EventId id = nextId_++;
+    heap_.push(Item{when, static_cast<int>(prio), nextSeq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++numScheduled_;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Tick delta, Callback cb, Priority prio)
+{
+    return schedule(now_ + delta, std::move(cb), prio);
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    // Lazy cancellation: the heap entry stays and is skipped when it
+    // reaches the head.
+    callbacks_.erase(it);
+    ++numCancelled_;
+    return true;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.top().id) == callbacks_.end()) {
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap_.empty();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipCancelled();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+std::size_t
+EventQueue::pendingCount() const
+{
+    return callbacks_.size();
+}
+
+bool
+EventQueue::runOne()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    Item item = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(item.id);
+    AQSIM_ASSERT(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    AQSIM_ASSERT(item.when >= now_);
+    now_ = item.when;
+    ++numExecuted_;
+    cb();
+    return true;
+}
+
+std::size_t
+EventQueue::runUntil(Tick limit)
+{
+    AQSIM_ASSERT(limit >= now_);
+    std::size_t executed = 0;
+    while (nextTick() <= limit) {
+        runOne();
+        ++executed;
+    }
+    now_ = limit;
+    return executed;
+}
+
+void
+EventQueue::fastForwardTo(Tick when)
+{
+    AQSIM_ASSERT(when >= now_);
+    AQSIM_ASSERT(nextTick() >= when);
+    now_ = when;
+}
+
+} // namespace aqsim::sim

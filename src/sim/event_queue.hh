@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Per-node discrete-event kernel.
+ *
+ * Each simulated node owns one EventQueue. Events are callbacks ordered
+ * by (tick, priority, insertion sequence); the sequence number makes
+ * same-tick ordering deterministic, which the reproducibility contract
+ * of the library depends on.
+ *
+ * The queue deliberately exposes single-step execution (runOne) in
+ * addition to runUntil: the SequentialEngine interleaves events from
+ * many nodes in host-time order, so it must be able to advance a node
+ * one event at a time and inspect the next pending tick.
+ */
+
+#ifndef AQSIM_SIM_EVENT_QUEUE_HH
+#define AQSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace aqsim::sim
+{
+
+/** Callback invoked when an event fires. */
+using Callback = std::function<void()>;
+
+/** Scheduling priorities for same-tick ordering (lower runs first). */
+enum class Priority : int
+{
+    /** Packet delivery from the network; runs before app reactions. */
+    Delivery = -10,
+    /** Default for application and device events. */
+    Default = 0,
+    /** Bookkeeping that must observe a completed tick. */
+    Late = 10,
+};
+
+/**
+ * A deterministic, cancellable discrete-event queue for one node.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle for cancelling a scheduled event. */
+    using EventId = std::uint64_t;
+
+    /** Sentinel returned when no event is scheduled. */
+    static constexpr EventId invalidEvent = 0;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when absolute tick, must be >= now()
+     * @param cb callback to run
+     * @param prio same-tick ordering class
+     * @return handle usable with deschedule()
+     */
+    EventId schedule(Tick when, Callback cb,
+                     Priority prio = Priority::Default);
+
+    /** Schedule a callback @p delta ticks after now(). */
+    EventId scheduleIn(Tick delta, Callback cb,
+                       Priority prio = Priority::Default);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** @return the current simulated time of this node. */
+    Tick now() const { return now_; }
+
+    /** @return true if no live events are pending. */
+    bool empty() const;
+
+    /** @return tick of the earliest pending event, or maxTick. */
+    Tick nextTick() const;
+
+    /**
+     * Execute the earliest pending event, advancing now() to its tick.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run every event with tick <= limit, then advance now() to limit.
+     * Events scheduled during execution are honored if they fall within
+     * the limit.
+     *
+     * @return the number of events executed.
+     */
+    std::size_t runUntil(Tick limit);
+
+    /**
+     * Fast-forward the clock without running events; used by engines to
+     * align a node to a quantum boundary. All pending events must lie at
+     * or beyond @p when.
+     */
+    void fastForwardTo(Tick when);
+
+    /** Lifetime counters for stats and tests. */
+    std::uint64_t numScheduled() const { return numScheduled_; }
+    std::uint64_t numExecuted() const { return numExecuted_; }
+    std::uint64_t numCancelled() const { return numCancelled_; }
+
+    /** @return number of live (non-cancelled) pending events. */
+    std::size_t pendingCount() const;
+
+  private:
+    struct Item
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Item &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    /** Drop cancelled items from the head of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Item, std::vector<Item>,
+                                std::greater<Item>> heap_;
+    /** Callbacks by event id; erased on execution/cancellation. */
+    std::unordered_map<EventId, Callback> callbacks_;
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t numScheduled_ = 0;
+    std::uint64_t numExecuted_ = 0;
+    std::uint64_t numCancelled_ = 0;
+};
+
+} // namespace aqsim::sim
+
+#endif // AQSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,29 @@
+#include "sim/process.hh"
+
+#include <exception>
+
+namespace aqsim::sim
+{
+
+Process
+Process::promise_type::get_return_object()
+{
+    return Process(
+        std::coroutine_handle<promise_type>::from_promise(*this));
+}
+
+void
+Process::promise_type::unhandled_exception()
+{
+    // Workload coroutines are simulator-internal code; an escaped
+    // exception is a bug, not a user configuration error.
+    try {
+        std::rethrow_exception(std::current_exception());
+    } catch (const std::exception &e) {
+        panic("unhandled exception in simulated process: %s", e.what());
+    } catch (...) {
+        panic("unhandled non-standard exception in simulated process");
+    }
+}
+
+} // namespace aqsim::sim

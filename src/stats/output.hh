@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Text and CSV rendering of a statistics Group tree.
+ */
+
+#ifndef AQSIM_STATS_OUTPUT_HH
+#define AQSIM_STATS_OUTPUT_HH
+
+#include <ostream>
+
+#include "stats/stats.hh"
+
+namespace aqsim::stats
+{
+
+/**
+ * Dump a group tree as aligned "path.to.stat  value  # desc" rows,
+ * gem5 stats.txt style.
+ */
+void dumpText(const Group &root, std::ostream &out);
+
+/** Dump a group tree as CSV rows (path,label,value,description). */
+void dumpCsv(const Group &root, std::ostream &out);
+
+} // namespace aqsim::stats
+
+#endif // AQSIM_STATS_OUTPUT_HH

@@ -1,0 +1,73 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+
+namespace aqsim::stats
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+std::vector<std::pair<std::string, double>>
+Average::rows() const
+{
+    return {
+        {"mean", mean()},
+        {"min", min()},
+        {"max", max()},
+        {"count", static_cast<double>(count_)},
+    };
+}
+
+void
+Average::reset()
+{
+    sum_ = min_ = max_ = 0.0;
+    count_ = 0;
+}
+
+Group &
+Group::addGroup(std::string name)
+{
+    children_.push_back(std::make_unique<Group>(std::move(name)));
+    return *children_.back();
+}
+
+const Stat *
+Group::find(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &stat : stats_)
+            if (stat->name() == path)
+                return stat.get();
+        return nullptr;
+    }
+    const std::string head = path.substr(0, dot);
+    const std::string tail = path.substr(dot + 1);
+    for (const auto &child : children_)
+        if (child->name() == head)
+            return child->find(tail);
+    return nullptr;
+}
+
+void
+Group::resetAll()
+{
+    for (auto &stat : stats_)
+        stat->reset();
+    for (auto &child : children_)
+        child->resetAll();
+}
+
+} // namespace aqsim::stats

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * gem5-flavoured statistics package.
+ *
+ * Components register named statistics inside a Group; groups nest to
+ * form a tree (cluster -> node3 -> nic -> txBytes). The tree can be
+ * dumped as aligned text or CSV (see stats/output.hh).
+ *
+ * Only the statistic kinds the simulator actually needs are provided:
+ * Scalar (a counter/accumulator), Average (mean of samples), and the
+ * bucketed types in stats/histogram.hh.
+ */
+
+#ifndef AQSIM_STATS_STATS_HH
+#define AQSIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aqsim::stats
+{
+
+class Group;
+
+/** Base class for a named, documented statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value(s) as "label value" rows for text output. */
+    virtual std::vector<std::pair<std::string, double>> rows() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A scalar counter / accumulator. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator++()
+    {
+        value_ += 1.0;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(double v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    std::vector<std::pair<std::string, double>>
+    rows() const override
+    {
+        return {{"", value_}};
+    }
+
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean / min / max over a stream of samples. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    std::vector<std::pair<std::string, double>> rows() const override;
+    void reset() override;
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named container of statistics and child groups. Groups own their
+ * stats; components hold references.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Create (and own) a statistic of type T in this group. */
+    template <typename T, typename... CtorArgs>
+    T &
+    add(std::string name, std::string desc, CtorArgs &&...args)
+    {
+        auto stat = std::make_unique<T>(std::move(name), std::move(desc),
+                                        std::forward<CtorArgs>(args)...);
+        T &ref = *stat;
+        stats_.push_back(std::move(stat));
+        return ref;
+    }
+
+    /** Create (and own) a nested child group. */
+    Group &addGroup(std::string name);
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::unique_ptr<Stat>> &statList() const
+    {
+        return stats_;
+    }
+    const std::vector<std::unique_ptr<Group>> &children() const
+    {
+        return children_;
+    }
+
+    /** Find a stat by dotted path ("nic.txBytes"); nullptr if absent. */
+    const Stat *find(const std::string &path) const;
+
+    /** Reset this group's stats and all children recursively. */
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+    std::vector<std::unique_ptr<Group>> children_;
+};
+
+} // namespace aqsim::stats
+
+#endif // AQSIM_STATS_STATS_HH

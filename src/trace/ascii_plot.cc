@@ -1,0 +1,138 @@
+#include "trace/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace aqsim::trace
+{
+
+std::string
+renderTrafficMap(const std::vector<TraceRecord> &records,
+                 std::size_t num_nodes, std::size_t width)
+{
+    AQSIM_ASSERT(num_nodes >= 1 && width >= 1);
+    if (records.empty())
+        return "(no traffic)\n";
+
+    Tick end = 0;
+    for (const auto &r : records)
+        end = std::max(end, r.time);
+    const Tick window = end / width + 1;
+
+    // counts[node][bin] = packets touching the node in the bin.
+    std::vector<std::vector<std::uint64_t>> counts(
+        num_nodes, std::vector<std::uint64_t>(width, 0));
+    for (const auto &r : records) {
+        const auto bin = static_cast<std::size_t>(r.time / window);
+        if (r.src < num_nodes)
+            ++counts[r.src][std::min(bin, width - 1)];
+        if (r.dst < num_nodes)
+            ++counts[r.dst][std::min(bin, width - 1)];
+    }
+
+    std::uint64_t max_count = 1;
+    for (const auto &row : counts)
+        for (auto c : row)
+            max_count = std::max(max_count, c);
+
+    static const char glyphs[] = " .:-=+*#";
+    constexpr std::size_t levels = sizeof(glyphs) - 2;
+
+    std::string out;
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "%3zu |", node);
+        out += label;
+        for (std::size_t bin = 0; bin < width; ++bin) {
+            const std::uint64_t c = counts[node][bin];
+            std::size_t level = 0;
+            if (c > 0) {
+                level = 1 + static_cast<std::size_t>(
+                                std::log2(static_cast<double>(c) + 1.0) /
+                                std::log2(static_cast<double>(max_count) +
+                                          1.0) *
+                                static_cast<double>(levels - 1));
+                level = std::min(level, levels);
+            }
+            out += glyphs[level];
+        }
+        out += '\n';
+    }
+    char footer[96];
+    std::snprintf(footer, sizeof(footer),
+                  "    +%s\n     time: 0 .. %.3f ms\n",
+                  std::string(width, '-').c_str(),
+                  static_cast<double>(end) * 1e-6);
+    out += footer;
+    return out;
+}
+
+std::string
+renderLogSeries(const std::vector<double> &xs,
+                const std::vector<double> &ys, std::size_t width,
+                std::size_t height, const std::string &y_label)
+{
+    AQSIM_ASSERT(xs.size() == ys.size());
+    if (xs.empty())
+        return "(no data)\n";
+
+    double y_min = 1e300, y_max = -1e300;
+    for (double y : ys) {
+        if (y <= 0.0)
+            continue;
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+    }
+    if (y_max < y_min)
+        return "(no positive data)\n";
+    // Widen degenerate ranges so a flat series still renders.
+    if (y_max / y_min < 1.01) {
+        y_max *= 2.0;
+        y_min /= 2.0;
+    }
+    const double log_min = std::log10(y_min);
+    const double log_max = std::log10(y_max);
+    const double x_min = xs.front();
+    const double x_max = std::max(xs.back(), x_min + 1e-12);
+
+    std::vector<std::string> rows(height, std::string(width, ' '));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (ys[i] <= 0.0)
+            continue;
+        const auto col = static_cast<std::size_t>(
+            (xs[i] - x_min) / (x_max - x_min) *
+            static_cast<double>(width - 1));
+        const double frac =
+            (std::log10(ys[i]) - log_min) / (log_max - log_min);
+        const auto row_from_bottom = static_cast<std::size_t>(
+            frac * static_cast<double>(height - 1) + 0.5);
+        rows[height - 1 - std::min(row_from_bottom, height - 1)]
+            [std::min(col, width - 1)] = '*';
+    }
+
+    std::string out;
+    for (std::size_t r = 0; r < height; ++r) {
+        const double frac = static_cast<double>(height - 1 - r) /
+                            static_cast<double>(height - 1);
+        const double y_val =
+            std::pow(10.0, log_min + frac * (log_max - log_min));
+        char label[32];
+        std::snprintf(label, sizeof(label), "%8.2f |", y_val);
+        out += label;
+        out += rows[r];
+        out += '\n';
+    }
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "         +%s\n          x: %.3f .. %.3f   y: %s "
+                  "(log scale)\n",
+                  std::string(width, '-').c_str(), x_min, x_max,
+                  y_label.c_str());
+    out += footer;
+    return out;
+}
+
+} // namespace aqsim::trace

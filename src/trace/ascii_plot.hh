@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Terminal renderings of the paper's Figure 9 charts: a traffic map
+ * (nodes x time, density-coded) and a log-scale series chart (speedup
+ * over time).
+ */
+
+#ifndef AQSIM_TRACE_ASCII_PLOT_HH
+#define AQSIM_TRACE_ASCII_PLOT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "trace/packet_trace.hh"
+
+namespace aqsim::trace
+{
+
+/**
+ * Render packet traffic as a nodes-by-time character map. Each row is
+ * a node; each column a time bin; the glyph encodes how many packets
+ * the node sent or received in the bin (' ' none, '.' few ... '#'
+ * many). The visual counterpart of Fig. 9's left charts.
+ *
+ * @param records packet trace
+ * @param num_nodes cluster size (rows)
+ * @param width number of time columns
+ */
+std::string renderTrafficMap(const std::vector<TraceRecord> &records,
+                             std::size_t num_nodes, std::size_t width);
+
+/**
+ * Render a series as a log-y ASCII chart (Fig. 9 right: simulation
+ * speedup over time, log scale).
+ *
+ * @param xs x values (e.g. sim time in ms)
+ * @param ys positive y values (log scale)
+ * @param width chart columns
+ * @param height chart rows
+ * @param y_label axis annotation
+ */
+std::string renderLogSeries(const std::vector<double> &xs,
+                            const std::vector<double> &ys,
+                            std::size_t width, std::size_t height,
+                            const std::string &y_label);
+
+} // namespace aqsim::trace
+
+#endif // AQSIM_TRACE_ASCII_PLOT_HH

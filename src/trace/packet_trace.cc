@@ -1,0 +1,56 @@
+#include "trace/packet_trace.hh"
+
+#include "base/csv.hh"
+
+namespace aqsim::trace
+{
+
+void
+PacketTrace::attach(net::NetworkController &controller)
+{
+    controller.addObserver(
+        [this](const net::Packet &pkt, Tick actual) {
+            records_.push_back(
+                TraceRecord{actual, pkt.src, pkt.dst, pkt.bytes});
+        });
+}
+
+Tick
+PacketTrace::endTime() const
+{
+    Tick end = 0;
+    for (const auto &r : records_)
+        end = std::max(end, r.time);
+    return end;
+}
+
+void
+PacketTrace::dumpCsv(std::ostream &out) const
+{
+    CsvWriter csv(out);
+    csv.header({"time", "src", "dst", "bytes"});
+    for (const auto &r : records_) {
+        csv.row()
+            .field(static_cast<std::uint64_t>(r.time))
+            .field(static_cast<std::uint64_t>(r.src))
+            .field(static_cast<std::uint64_t>(r.dst))
+            .field(static_cast<std::uint64_t>(r.bytes));
+    }
+}
+
+std::vector<std::uint64_t>
+PacketTrace::density(Tick window) const
+{
+    std::vector<std::uint64_t> bins;
+    if (window == 0)
+        return bins;
+    for (const auto &r : records_) {
+        const std::size_t bin = static_cast<std::size_t>(r.time / window);
+        if (bin >= bins.size())
+            bins.resize(bin + 1, 0);
+        ++bins[bin];
+    }
+    return bins;
+}
+
+} // namespace aqsim::trace

@@ -1,0 +1,108 @@
+#include "trace/timeline.hh"
+
+#include "base/logging.hh"
+
+namespace aqsim::trace
+{
+
+namespace
+{
+
+/** Accumulate quantum records into fixed sim-time windows. */
+struct WindowAccumulator
+{
+    Tick window;
+    Tick windowStart = 0;
+    Tick ticksInWindow = 0;
+    double hostNs = 0.0;
+    std::uint64_t packets = 0;
+    double quantumTickSum = 0.0;
+    std::uint64_t quanta = 0;
+
+    bool
+    full() const
+    {
+        return ticksInWindow >= window;
+    }
+
+    void
+    add(const core::QuantumRecord &rec)
+    {
+        ticksInWindow += rec.length;
+        hostNs += rec.hostNs;
+        packets += rec.packets;
+        quantumTickSum += static_cast<double>(rec.length);
+        ++quanta;
+    }
+
+    Tick
+    center() const
+    {
+        return windowStart + ticksInWindow / 2;
+    }
+
+    void
+    reset()
+    {
+        windowStart += ticksInWindow;
+        ticksInWindow = 0;
+        hostNs = 0.0;
+        packets = 0;
+        quantumTickSum = 0.0;
+        quanta = 0;
+    }
+};
+
+template <typename ValueFn>
+std::vector<SeriesPoint>
+windowed(const std::vector<core::QuantumRecord> &timeline, Tick window,
+         ValueFn value)
+{
+    AQSIM_ASSERT(window > 0);
+    std::vector<SeriesPoint> out;
+    WindowAccumulator acc{window};
+    for (const auto &rec : timeline) {
+        acc.add(rec);
+        if (acc.full()) {
+            out.push_back(SeriesPoint{acc.center(), value(acc)});
+            acc.reset();
+        }
+    }
+    if (acc.quanta > 0)
+        out.push_back(SeriesPoint{acc.center(), value(acc)});
+    return out;
+}
+
+} // namespace
+
+std::vector<SeriesPoint>
+speedupOverTime(const std::vector<core::QuantumRecord> &timeline,
+                double ref_ns_per_tick, Tick window)
+{
+    AQSIM_ASSERT(ref_ns_per_tick > 0.0);
+    return windowed(timeline, window, [&](const WindowAccumulator &acc) {
+        const double ns_per_tick =
+            acc.hostNs / static_cast<double>(acc.ticksInWindow);
+        return ns_per_tick > 0.0 ? ref_ns_per_tick / ns_per_tick : 0.0;
+    });
+}
+
+std::vector<SeriesPoint>
+quantumOverTime(const std::vector<core::QuantumRecord> &timeline,
+                Tick window)
+{
+    return windowed(timeline, window, [](const WindowAccumulator &acc) {
+        return acc.quantumTickSum / static_cast<double>(acc.quanta);
+    });
+}
+
+std::vector<SeriesPoint>
+trafficOverTime(const std::vector<core::QuantumRecord> &timeline,
+                Tick window)
+{
+    return windowed(timeline, window, [](const WindowAccumulator &acc) {
+        return static_cast<double>(acc.packets);
+    });
+}
+
+} // namespace aqsim::trace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Derived time series from the per-quantum timeline: simulation
+ * speedup over time (paper Fig. 9 right charts) and quantum-length
+ * evolution.
+ */
+
+#ifndef AQSIM_TRACE_TIMELINE_HH
+#define AQSIM_TRACE_TIMELINE_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "core/sync_stats.hh"
+
+namespace aqsim::trace
+{
+
+/** One point of a derived time series. */
+struct SeriesPoint
+{
+    /** Window center in simulated time. */
+    Tick simTime = 0;
+    double value = 0.0;
+};
+
+/**
+ * Windowed simulation speed relative to a reference rate.
+ *
+ * For each window of @p window simulated ticks, computes
+ * (reference host-ns per tick) / (this run's host-ns per tick), i.e.
+ * the instantaneous speedup over the reference (ground-truth) run —
+ * the quantity plotted in the paper's Fig. 9 right charts.
+ *
+ * @param timeline per-quantum records of the run
+ * @param ref_ns_per_tick average host-ns per simulated tick of the
+ *        reference run (total hostNs / total simTicks)
+ * @param window window width in simulated ticks
+ */
+std::vector<SeriesPoint>
+speedupOverTime(const std::vector<core::QuantumRecord> &timeline,
+                double ref_ns_per_tick, Tick window);
+
+/** Quantum length (ticks) sampled per window of simulated time. */
+std::vector<SeriesPoint>
+quantumOverTime(const std::vector<core::QuantumRecord> &timeline,
+                Tick window);
+
+/** Packets per window of simulated time, from the quantum records. */
+std::vector<SeriesPoint>
+trafficOverTime(const std::vector<core::QuantumRecord> &timeline,
+                Tick window);
+
+} // namespace aqsim::trace
+
+#endif // AQSIM_TRACE_TIMELINE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * NAMD (molecular dynamics) skeleton, apoa1-shaped.
+ *
+ * "NAMD is a parallel, object-oriented molecular dynamics code" whose
+ * benchmark input (apoa1, ~92k atoms) exchanges patch/proxy force data
+ * with a neighborhood of ranks every timestep. Its traffic is *dense in
+ * time* — the paper's Fig. 9c shows no visible quiet interval — which
+ * makes it the worst case for simulation *speed*: the adaptive quantum
+ * cannot grow and settles near the best fixed quantum (~10 us).
+ *
+ * NAMD self-reports wall-clock time, so the accuracy metric here is
+ * WallClockSeconds.
+ */
+
+#ifndef AQSIM_WORKLOADS_NAMD_HH
+#define AQSIM_WORKLOADS_NAMD_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** NAMD skeleton workload. */
+class Namd : public Workload
+{
+  public:
+    struct Params
+    {
+        std::size_t atoms = 92224;
+        std::size_t steps = 15;
+        double opsPerAtom = 1300.0;
+        /** Patch-neighborhood size (capped at numRanks - 1). */
+        std::size_t patchNeighbors = 6;
+        /** Proxy/force message payload. */
+        std::uint64_t msgBytes = 24 * 1024;
+        /** Energy reduction every this many steps. */
+        std::size_t energyEvery = 10;
+        double jitterSigma = 0.04;
+    };
+
+    Namd(std::size_t num_ranks, double scale);
+    Namd(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "namd"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::WallClockSeconds;
+    }
+    double totalOps() const override;
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAMD_HH

@@ -1,0 +1,79 @@
+#include "workloads/nas_cg.hh"
+
+#include "base/logging.hh"
+
+namespace aqsim::workloads
+{
+
+namespace
+{
+
+/** User tag for the matvec fold exchanges. */
+constexpr int tagFold = 7;
+
+} // namespace
+
+NasCg::NasCg(std::size_t num_ranks, double scale)
+    : NasCg(num_ranks, scale, Params())
+{}
+
+NasCg::NasCg(std::size_t num_ranks, double scale, Params params)
+    : numRanks_(num_ranks), params_(params)
+{
+    AQSIM_ASSERT(num_ranks >= 1 && scale > 0.0);
+    params_.nnzPerRow *= scale;
+}
+
+double
+NasCg::totalOps() const
+{
+    return static_cast<double>(params_.outerIters) *
+           static_cast<double>(params_.innerIters) *
+           static_cast<double>(params_.rows) * params_.nnzPerRow *
+           params_.opsPerNnz;
+}
+
+sim::Process
+NasCg::program(AppContext &ctx)
+{
+    const std::size_t n = ctx.numRanks();
+    const Rank r = ctx.rank();
+    const std::size_t rows_per_rank =
+        std::max<std::size_t>(1, params_.rows / n);
+    const double matvec_ops = static_cast<double>(params_.rows) *
+                              params_.nnzPerRow * params_.opsPerNnz /
+                              static_cast<double>(n);
+
+    for (std::size_t outer = 0; outer < params_.outerIters; ++outer) {
+        for (std::size_t inner = 0; inner < params_.innerIters;
+             ++inner) {
+            // Partitioned sparse matvec.
+            co_await ctx.compute(
+                ctx.jitter(matvec_ops, params_.jitterSigma));
+
+            // Fold partial sums across XOR partners: the vector
+            // segment halves each round — irregular long-distance
+            // exchanges across the whole machine.
+            std::uint64_t seg_bytes = rows_per_rank * 8;
+            for (std::size_t k = 1; k < n; k <<= 1) {
+                const std::size_t partner = r ^ k;
+                if (partner < n) {
+                    co_await mpi::sendrecv(
+                        ctx.comm(), static_cast<Rank>(partner),
+                        static_cast<Rank>(partner), tagFold,
+                        std::max<std::uint64_t>(seg_bytes, 64));
+                }
+                seg_bytes = std::max<std::uint64_t>(seg_bytes / 2, 64);
+            }
+
+            // Two dot products per CG step (alpha, rho): tiny,
+            // latency-critical global reductions.
+            co_await mpi::allreduce(ctx.comm(), 8);
+            co_await mpi::allreduce(ctx.comm(), 8);
+        }
+        // Eigenvalue shift estimate at the end of each outer step.
+        co_await mpi::allreduce(ctx.comm(), 16);
+    }
+}
+
+} // namespace aqsim::workloads

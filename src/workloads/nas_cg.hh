@@ -1,0 +1,53 @@
+/**
+ * @file
+ * NAS CG (Conjugate Gradient) skeleton.
+ *
+ * "Computes an approximation to the smallest eigenvalue of a large,
+ * sparse, symmetric positive definite matrix. Exhibits irregular long
+ * distance communication." Each inner CG iteration is a partitioned
+ * sparse matrix-vector product whose partial sums are folded across
+ * XOR-distance partners (long-distance, irregular), plus two
+ * latency-critical scalar dot-product allreduces.
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_CG_HH
+#define AQSIM_WORKLOADS_NAS_CG_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** CG skeleton workload. */
+class NasCg : public Workload
+{
+  public:
+    struct Params
+    {
+        std::size_t rows = 150000;
+        double nnzPerRow = 350.0;
+        std::size_t outerIters = 2;
+        std::size_t innerIters = 12;
+        double opsPerNnz = 2.0;
+        double jitterSigma = 0.02;
+    };
+
+    NasCg(std::size_t num_ranks, double scale);
+    NasCg(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "nas.cg"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::RateMops;
+    }
+    double totalOps() const override;
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_CG_HH

@@ -1,0 +1,74 @@
+#include "workloads/nas_common.hh"
+
+#include "base/logging.hh"
+
+namespace aqsim::workloads
+{
+
+std::array<std::size_t, 3>
+factor3(std::size_t n)
+{
+    AQSIM_ASSERT(n >= 1);
+    std::array<std::size_t, 3> best{n, 1, 1};
+    std::size_t best_surface = n + n + 1; // proportional surface metric
+    for (std::size_t a = 1; a * a * a <= n; ++a) {
+        if (n % a)
+            continue;
+        const std::size_t rest = n / a;
+        for (std::size_t b = a; b * b <= rest; ++b) {
+            if (rest % b)
+                continue;
+            const std::size_t c = rest / b;
+            const std::size_t surface = a * b + b * c + a * c;
+            if (surface < best_surface) {
+                best_surface = surface;
+                best = {c, b, a}; // px >= py >= pz
+            }
+        }
+    }
+    return best;
+}
+
+std::array<std::size_t, 2>
+factor2(std::size_t n)
+{
+    AQSIM_ASSERT(n >= 1);
+    std::array<std::size_t, 2> best{n, 1};
+    for (std::size_t a = 1; a * a <= n; ++a) {
+        if (n % a)
+            continue;
+        best = {n / a, a};
+    }
+    return best;
+}
+
+std::array<std::size_t, 3>
+gridCoords(std::size_t rank, const std::array<std::size_t, 3> &dims)
+{
+    AQSIM_ASSERT(rank < dims[0] * dims[1] * dims[2]);
+    return {rank % dims[0], (rank / dims[0]) % dims[1],
+            rank / (dims[0] * dims[1])};
+}
+
+std::size_t
+gridRank(const std::array<std::size_t, 3> &coords,
+         const std::array<std::size_t, 3> &dims)
+{
+    return coords[0] + dims[0] * (coords[1] + dims[1] * coords[2]);
+}
+
+std::ptrdiff_t
+gridNeighbor(std::size_t rank, const std::array<std::size_t, 3> &dims,
+             std::size_t axis, int dir)
+{
+    AQSIM_ASSERT(axis < 3 && (dir == 1 || dir == -1));
+    auto coords = gridCoords(rank, dims);
+    const std::ptrdiff_t next =
+        static_cast<std::ptrdiff_t>(coords[axis]) + dir;
+    if (next < 0 || next >= static_cast<std::ptrdiff_t>(dims[axis]))
+        return -1;
+    coords[axis] = static_cast<std::size_t>(next);
+    return static_cast<std::ptrdiff_t>(gridRank(coords, dims));
+}
+
+} // namespace aqsim::workloads

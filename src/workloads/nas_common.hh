@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the NAS skeleton workloads: processor-grid
+ * factorization and neighbor arithmetic.
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_COMMON_HH
+#define AQSIM_WORKLOADS_NAS_COMMON_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace aqsim::workloads
+{
+
+/**
+ * Factor @p n into up to three near-cubic factors (px >= py >= pz),
+ * used to lay ranks out on a 3D processor grid (MG) or 2D grid (LU).
+ */
+std::array<std::size_t, 3> factor3(std::size_t n);
+
+/** Factor @p n into two near-square factors (px >= py). */
+std::array<std::size_t, 2> factor2(std::size_t n);
+
+/** Coordinates of @p rank in a (px, py, pz) grid, x fastest. */
+std::array<std::size_t, 3> gridCoords(std::size_t rank,
+                                      const std::array<std::size_t, 3> &dims);
+
+/** Rank of grid coordinates (inverse of gridCoords). */
+std::size_t gridRank(const std::array<std::size_t, 3> &coords,
+                     const std::array<std::size_t, 3> &dims);
+
+/**
+ * Neighbor of @p rank along @p axis in direction @p dir (+1/-1),
+ * or -1 when at the grid boundary (no wraparound).
+ */
+std::ptrdiff_t gridNeighbor(std::size_t rank,
+                            const std::array<std::size_t, 3> &dims,
+                            std::size_t axis, int dir);
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_COMMON_HH

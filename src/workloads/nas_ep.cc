@@ -1,0 +1,37 @@
+#include "workloads/nas_ep.hh"
+
+#include "base/logging.hh"
+
+namespace aqsim::workloads
+{
+
+NasEp::NasEp(std::size_t num_ranks, double scale)
+    : NasEp(num_ranks, scale, Params())
+{}
+
+NasEp::NasEp(std::size_t num_ranks, double scale, Params params)
+    : numRanks_(num_ranks), params_(params)
+{
+    AQSIM_ASSERT(num_ranks >= 1 && scale > 0.0);
+    params_.totalOps *= scale;
+}
+
+sim::Process
+NasEp::program(AppContext &ctx)
+{
+    const double per_rank =
+        params_.totalOps / static_cast<double>(numRanks_);
+    const double per_block =
+        per_rank / static_cast<double>(params_.blocks);
+
+    // Independent pseudorandom-statistics batches: no communication.
+    for (std::size_t b = 0; b < params_.blocks; ++b)
+        co_await ctx.compute(ctx.jitter(per_block,
+                                        params_.jitterSigma));
+
+    // Combine the per-rank tallies: a few tiny allreduces.
+    for (std::size_t i = 0; i < params_.reductions; ++i)
+        co_await mpi::allreduce(ctx.comm(), params_.reductionBytes);
+}
+
+} // namespace aqsim::workloads

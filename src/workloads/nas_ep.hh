@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NAS EP (Embarrassingly Parallel) skeleton.
+ *
+ * "Accumulates statistics from dynamically generated pseudorandom
+ * numbers. Requires little interprocessor communication." Long
+ * independent compute blocks per rank, followed by a handful of tiny
+ * sum-reductions (the Gaussian-pair counts). This is the best case for
+ * the adaptive quantum: the network is silent almost throughout, so the
+ * quantum grows to its maximum and the accuracy loss is negligible
+ * (paper Fig. 9a and the Section 6 EP table).
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_EP_HH
+#define AQSIM_WORKLOADS_NAS_EP_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** EP skeleton workload. */
+class NasEp : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Total operations across all ranks at scale 1. */
+        double totalOps = 6.0e8;
+        /** Compute blocks per rank (statistics batches). */
+        std::size_t blocks = 48;
+        /** Number of final scalar reductions (sx, sy, ring counts). */
+        std::size_t reductions = 3;
+        std::uint64_t reductionBytes = 80;
+        double jitterSigma = 0.03;
+    };
+
+    NasEp(std::size_t num_ranks, double scale);
+    NasEp(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "nas.ep"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::RateMops;
+    }
+    double totalOps() const override { return params_.totalOps; }
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_EP_HH

@@ -1,0 +1,63 @@
+#include "workloads/nas_is.hh"
+
+#include "base/logging.hh"
+
+namespace aqsim::workloads
+{
+
+NasIs::NasIs(std::size_t num_ranks, double scale)
+    : NasIs(num_ranks, scale, Params())
+{}
+
+NasIs::NasIs(std::size_t num_ranks, double scale, Params params)
+    : numRanks_(num_ranks), params_(params)
+{
+    AQSIM_ASSERT(num_ranks >= 1 && scale > 0.0);
+    params_.totalKeys = static_cast<std::size_t>(
+        static_cast<double>(params_.totalKeys) * scale);
+    AQSIM_ASSERT(params_.totalKeys >= num_ranks);
+}
+
+double
+NasIs::totalOps() const
+{
+    // NAS IS self-reports keys ranked per second.
+    return static_cast<double>(params_.totalKeys) *
+           static_cast<double>(params_.iterations);
+}
+
+sim::Process
+NasIs::program(AppContext &ctx)
+{
+    const std::size_t n = ctx.numRanks();
+    const std::size_t keys_per_rank = params_.totalKeys / n;
+    const std::uint64_t key_bytes_per_pair =
+        keys_per_rank * params_.bytesPerKey / n;
+
+    for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+        // Local bucket counting.
+        co_await ctx.compute(ctx.jitter(
+            static_cast<double>(keys_per_rank) * params_.opsPerKey,
+            params_.jitterSigma));
+
+        // Exchange bucket sizes (small, latency-bound).
+        co_await mpi::alltoall(ctx.comm(),
+                               params_.bucketBytesPerPair);
+
+        // Redistribute the keys themselves (bulk).
+        co_await mpi::alltoall(ctx.comm(), key_bytes_per_pair);
+
+        // Local ranking of the received keys.
+        co_await ctx.compute(ctx.jitter(
+            static_cast<double>(keys_per_rank) * 4.0,
+            params_.jitterSigma));
+
+        // Partial verification: a tiny global reduction every pass.
+        co_await mpi::allreduce(ctx.comm(), 8);
+    }
+
+    // Full verification.
+    co_await mpi::allreduce(ctx.comm(), 8);
+}
+
+} // namespace aqsim::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * NAS IS (Integer Sort) skeleton.
+ *
+ * "Performs a sorting operation used frequently in particle method
+ * codes. Requires moderate data communication and significant
+ * synchronization." Each ranking iteration is: local bucket counting,
+ * an alltoall of bucket sizes, an alltoallv redistributing the keys,
+ * local re-ranking, and a small verification allreduce.
+ *
+ * The back-to-back alltoalls create long chains of packet dependences;
+ * under a long synchronization quantum every chain hop snaps to a
+ * quantum boundary and the *simulated* execution time dilates
+ * dramatically — the paper's Section 6 accuracy worst case (150x sim-
+ * time ratio at Q=100 us on 64 nodes).
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_IS_HH
+#define AQSIM_WORKLOADS_NAS_IS_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** IS skeleton workload. */
+class NasIs : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Total keys across all ranks at scale 1 (class-A shape). */
+        std::size_t totalKeys = 1ULL << 21;
+        std::size_t iterations = 10;
+        /** Local work per key per iteration (bucket count + rank). */
+        double opsPerKey = 100.0;
+        /** Bucket-size exchange payload per rank pair. */
+        std::uint64_t bucketBytesPerPair = 256;
+        std::uint64_t bytesPerKey = 4;
+        double jitterSigma = 0.02;
+    };
+
+    NasIs(std::size_t num_ranks, double scale);
+    NasIs(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "nas.is"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::RateMops;
+    }
+    double totalOps() const override;
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_IS_HH

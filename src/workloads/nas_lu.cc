@@ -1,0 +1,101 @@
+#include "workloads/nas_lu.hh"
+
+#include "base/logging.hh"
+#include "workloads/nas_common.hh"
+
+namespace aqsim::workloads
+{
+
+namespace
+{
+
+constexpr int tagLower = 21;
+constexpr int tagUpper = 22;
+
+} // namespace
+
+NasLu::NasLu(std::size_t num_ranks, double scale)
+    : NasLu(num_ranks, scale, Params())
+{}
+
+NasLu::NasLu(std::size_t num_ranks, double scale, Params params)
+    : numRanks_(num_ranks), params_(params)
+{
+    AQSIM_ASSERT(num_ranks >= 1 && scale > 0.0);
+    params_.opsPerPoint *= scale;
+}
+
+double
+NasLu::totalOps() const
+{
+    return static_cast<double>(params_.iterations) * 2.0 *
+           static_cast<double>(params_.nz) *
+           static_cast<double>(params_.nx) *
+           static_cast<double>(params_.nx) * params_.opsPerPoint;
+}
+
+sim::Process
+NasLu::program(AppContext &ctx)
+{
+    const std::size_t n = ctx.numRanks();
+    const auto pgrid = factor2(n);
+    const std::array<std::size_t, 3> dims{pgrid[0], pgrid[1], 1};
+    const Rank r = ctx.rank();
+
+    const std::ptrdiff_t west = gridNeighbor(r, dims, 0, -1);
+    const std::ptrdiff_t east = gridNeighbor(r, dims, 0, +1);
+    const std::ptrdiff_t north = gridNeighbor(r, dims, 1, -1);
+    const std::ptrdiff_t south = gridNeighbor(r, dims, 1, +1);
+
+    const double local_nx =
+        static_cast<double>(params_.nx) / static_cast<double>(pgrid[0]);
+    const double local_ny =
+        static_cast<double>(params_.nx) / static_cast<double>(pgrid[1]);
+    const double plane_ops = local_nx * local_ny * params_.opsPerPoint;
+    // Interface: one row/column of 5x5 double blocks.
+    const auto iface_x =
+        static_cast<std::uint64_t>(std::max(200.0, local_ny * 200.0));
+    const auto iface_y =
+        static_cast<std::uint64_t>(std::max(200.0, local_nx * 200.0));
+
+    for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+        // Lower-triangular sweep: wavefront from the north-west.
+        for (std::size_t k = 0; k < params_.nz; ++k) {
+            if (west >= 0)
+                co_await ctx.comm().recv(static_cast<int>(west),
+                                         tagLower);
+            if (north >= 0)
+                co_await ctx.comm().recv(static_cast<int>(north),
+                                         tagLower);
+            co_await ctx.compute(
+                ctx.jitter(plane_ops, params_.jitterSigma));
+            if (east >= 0)
+                co_await ctx.comm().send(static_cast<Rank>(east),
+                                         tagLower, iface_x);
+            if (south >= 0)
+                co_await ctx.comm().send(static_cast<Rank>(south),
+                                         tagLower, iface_y);
+        }
+        // Upper-triangular sweep: wavefront from the south-east.
+        for (std::size_t k = 0; k < params_.nz; ++k) {
+            if (east >= 0)
+                co_await ctx.comm().recv(static_cast<int>(east),
+                                         tagUpper);
+            if (south >= 0)
+                co_await ctx.comm().recv(static_cast<int>(south),
+                                         tagUpper);
+            co_await ctx.compute(
+                ctx.jitter(plane_ops, params_.jitterSigma));
+            if (west >= 0)
+                co_await ctx.comm().send(static_cast<Rank>(west),
+                                         tagUpper, iface_x);
+            if (north >= 0)
+                co_await ctx.comm().send(static_cast<Rank>(north),
+                                         tagUpper, iface_y);
+        }
+        // Residual norms.
+        co_await mpi::allreduce(ctx.comm(), 40);
+    }
+}
+
+} // namespace aqsim::workloads

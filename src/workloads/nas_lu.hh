@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NAS LU (Lower-Upper solver) skeleton.
+ *
+ * "A regular-sparse, block (5x5) lower and upper triangular system
+ * solution. Exhibits a limited amount of parallelism and is a good
+ * indicator of network latency." SSOR iterations sweep a wavefront of
+ * k-planes across a 2-D processor grid: each plane waits for small
+ * interface messages from the north/west neighbors, computes, and
+ * forwards south/east (reversed for the upper sweep). The pipeline of
+ * tiny messages makes simulated execution time directly proportional
+ * to per-message latency — and therefore to quantum-induced latency
+ * inflation.
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_LU_HH
+#define AQSIM_WORKLOADS_NAS_LU_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** LU skeleton workload. */
+class NasLu : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Horizontal grid extent (nx = ny). */
+        std::size_t nx = 64;
+        /** Number of k-planes per sweep (wavefront depth). */
+        std::size_t nz = 24;
+        std::size_t iterations = 4;
+        /** Block ops per grid point per plane (5x5 block solve). */
+        /*
+         * Effective operations per point per plane, derived from
+         * measured class-A LU wall time on the paper-era hardware
+         * (time x clock), not raw flop counts: the SSOR block solve
+         * is memory bound, so its time-equivalent op count is high.
+         */
+        double opsPerPoint = 2400.0;
+        double jitterSigma = 0.02;
+    };
+
+    NasLu(std::size_t num_ranks, double scale);
+    NasLu(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "nas.lu"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::RateMops;
+    }
+    double totalOps() const override;
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_LU_HH

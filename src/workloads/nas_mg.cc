@@ -1,0 +1,105 @@
+#include "workloads/nas_mg.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "workloads/nas_common.hh"
+
+namespace aqsim::workloads
+{
+
+namespace
+{
+
+constexpr int tagHalo = 11;
+
+} // namespace
+
+NasMg::NasMg(std::size_t num_ranks, double scale)
+    : NasMg(num_ranks, scale, Params())
+{}
+
+NasMg::NasMg(std::size_t num_ranks, double scale, Params params)
+    : numRanks_(num_ranks), params_(params)
+{
+    AQSIM_ASSERT(num_ranks >= 1 && scale > 0.0);
+    AQSIM_ASSERT((params_.gridDim & (params_.gridDim - 1)) == 0);
+    params_.opsPerPoint *= scale;
+}
+
+double
+NasMg::totalOps() const
+{
+    double ops = 0.0;
+    // Down-sweep and up-sweep visit every level once per cycle.
+    for (std::size_t dim = params_.gridDim; dim >= params_.coarsestDim;
+         dim /= 2) {
+        ops += 2.0 * static_cast<double>(dim) * static_cast<double>(dim) *
+               static_cast<double>(dim) * params_.opsPerPoint;
+    }
+    return ops * static_cast<double>(params_.vcycles);
+}
+
+sim::Process
+NasMg::level(AppContext &ctx, std::size_t dim)
+{
+    const std::size_t n = ctx.numRanks();
+    const auto dims = factor3(n);
+    const Rank r = ctx.rank();
+
+    // Smooth the local subgrid.
+    const double points =
+        static_cast<double>(dim) * static_cast<double>(dim) *
+        static_cast<double>(dim) / static_cast<double>(n);
+    co_await ctx.compute(
+        ctx.jitter(points * params_.opsPerPoint, params_.jitterSigma));
+
+    if (n == 1)
+        co_return;
+
+    // Halo exchange with up to six 3-D neighbors. Face sizes shrink
+    // with the level; coarse grids exchange tiny latency-bound frames.
+    std::vector<sim::Process> sends;
+    std::vector<Rank> recv_from;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        // Extent of the local face orthogonal to this axis.
+        const double fx = static_cast<double>(dim) /
+                          static_cast<double>(dims[(axis + 1) % 3]);
+        const double fy = static_cast<double>(dim) /
+                          static_cast<double>(dims[(axis + 2) % 3]);
+        const auto face_bytes = static_cast<std::uint64_t>(
+            std::max(64.0, fx * fy * 8.0));
+        for (int dir : {+1, -1}) {
+            const std::ptrdiff_t nb = gridNeighbor(r, dims, axis, dir);
+            if (nb < 0)
+                continue;
+            sends.push_back(ctx.comm().send(static_cast<Rank>(nb),
+                                            tagHalo, face_bytes));
+            sends.back().start();
+            recv_from.push_back(static_cast<Rank>(nb));
+        }
+    }
+    for (Rank src : recv_from)
+        co_await ctx.comm().recv(static_cast<int>(src), tagHalo);
+    for (auto &s : sends)
+        co_await std::move(s);
+}
+
+sim::Process
+NasMg::program(AppContext &ctx)
+{
+    for (std::size_t cycle = 0; cycle < params_.vcycles; ++cycle) {
+        // Down-sweep: restrict to coarser grids.
+        for (std::size_t dim = params_.gridDim;
+             dim >= params_.coarsestDim; dim /= 2)
+            co_await level(ctx, dim);
+        // Up-sweep: prolongate back to the fine grid.
+        for (std::size_t dim = params_.coarsestDim;
+             dim <= params_.gridDim; dim *= 2)
+            co_await level(ctx, dim);
+        // Residual norm.
+        co_await mpi::allreduce(ctx.comm(), 8);
+    }
+}
+
+} // namespace aqsim::workloads

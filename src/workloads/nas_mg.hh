@@ -1,0 +1,57 @@
+/**
+ * @file
+ * NAS MG (Multi-Grid) skeleton.
+ *
+ * "Solves a 3-D Poisson PDE. Exhibits both short and long distance
+ * highly structured communication patterns." V-cycles over a grid
+ * hierarchy: smoothing at each level with 3-D halo exchanges whose
+ * message sizes shrink with the grid (fine levels: bulk nearest-
+ * neighbor faces; coarse levels: tiny latency-bound messages), plus a
+ * residual-norm allreduce per cycle.
+ */
+
+#ifndef AQSIM_WORKLOADS_NAS_MG_HH
+#define AQSIM_WORKLOADS_NAS_MG_HH
+
+#include "workloads/workload.hh"
+
+namespace aqsim::workloads
+{
+
+/** MG skeleton workload. */
+class NasMg : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Global grid dimension (must be a power of two). */
+        std::size_t gridDim = 256;
+        std::size_t vcycles = 3;
+        /** Coarsest level grid dimension. */
+        std::size_t coarsestDim = 4;
+        double opsPerPoint = 10.0;
+        double jitterSigma = 0.02;
+    };
+
+    NasMg(std::size_t num_ranks, double scale);
+    NasMg(std::size_t num_ranks, double scale, Params params);
+
+    std::string name() const override { return "nas.mg"; }
+    MetricKind metricKind() const override
+    {
+        return MetricKind::RateMops;
+    }
+    double totalOps() const override;
+    sim::Process program(AppContext &ctx) override;
+
+  private:
+    /** Smooth + halo-exchange at one grid level. */
+    sim::Process level(AppContext &ctx, std::size_t dim);
+
+    std::size_t numRanks_;
+    Params params_;
+};
+
+} // namespace aqsim::workloads
+
+#endif // AQSIM_WORKLOADS_NAS_MG_HH

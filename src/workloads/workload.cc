@@ -1,0 +1,90 @@
+#include "workloads/workload.hh"
+
+#include "base/logging.hh"
+#include "workloads/namd.hh"
+#include "workloads/nas_cg.hh"
+#include "workloads/nas_ep.hh"
+#include "workloads/nas_is.hh"
+#include "workloads/nas_lu.hh"
+#include "workloads/nas_mg.hh"
+#include "workloads/synthetic.hh"
+
+namespace aqsim::workloads
+{
+
+double
+Workload::metricValue(Tick completion_tick) const
+{
+    if (completion_tick == 0)
+        return 0.0; // degenerate (empty) program
+    switch (metricKind()) {
+      case MetricKind::RateMops:
+        // NAS convention: millions of operations per second.
+        return totalOps() / ticksToSeconds(completion_tick) / 1e6;
+      case MetricKind::WallClockSeconds:
+        return ticksToSeconds(completion_tick);
+    }
+    panic("unreachable metric kind");
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::size_t num_ranks,
+             double scale)
+{
+    if (name == "nas.ep")
+        return std::make_unique<NasEp>(num_ranks, scale);
+    if (name == "nas.is")
+        return std::make_unique<NasIs>(num_ranks, scale);
+    if (name == "nas.cg")
+        return std::make_unique<NasCg>(num_ranks, scale);
+    if (name == "nas.mg")
+        return std::make_unique<NasMg>(num_ranks, scale);
+    if (name == "nas.lu")
+        return std::make_unique<NasLu>(num_ranks, scale);
+    if (name == "namd")
+        return std::make_unique<Namd>(num_ranks, scale);
+    if (name == "pingpong")
+        return std::make_unique<PingPong>(num_ranks, scale);
+    if (name == "burst")
+        return std::make_unique<BurstCompute>(num_ranks, scale);
+    if (name == "random")
+        return std::make_unique<RandomTraffic>(num_ranks, scale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"nas.ep", "nas.is", "nas.cg", "nas.mg", "nas.lu",
+            "namd",   "pingpong", "burst", "random"};
+}
+
+double
+scaleForClass(char problem_class)
+{
+    switch (problem_class) {
+      case 'S':
+      case 's':
+        return 0.05;
+      case 'W':
+      case 'w':
+        return 0.25;
+      case 'A':
+      case 'a':
+        return 1.0;
+      case 'B':
+      case 'b':
+        return 4.0;
+      default:
+        fatal("unknown problem class '%c' (use S, W, A or B)",
+              problem_class);
+    }
+}
+
+std::vector<std::string>
+nasWorkloadNames()
+{
+    return {"nas.ep", "nas.is", "nas.cg", "nas.mg", "nas.lu"};
+}
+
+} // namespace aqsim::workloads

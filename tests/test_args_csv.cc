@@ -1,0 +1,110 @@
+/** Tests for CLI parsing and CSV escaping. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/args.hh"
+#include "base/csv.hh"
+
+using aqsim::Args;
+using aqsim::CsvWriter;
+using aqsim::csvEscape;
+
+namespace
+{
+
+Args
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v(argv);
+    return Args(static_cast<int>(v.size()), v.data());
+}
+
+} // namespace
+
+TEST(Args, ParsesEqualsForm)
+{
+    auto args = parse({"prog", "--nodes=8", "--policy=dyn:1.03:0.02"});
+    EXPECT_EQ(args.getInt("nodes", 0), 8);
+    EXPECT_EQ(args.getString("policy", ""), "dyn:1.03:0.02");
+}
+
+TEST(Args, ParsesSpaceForm)
+{
+    auto args = parse({"prog", "--nodes", "8"});
+    EXPECT_EQ(args.getInt("nodes", 0), 8);
+}
+
+TEST(Args, BareFlagIsTrue)
+{
+    auto args = parse({"prog", "--csv"});
+    EXPECT_TRUE(args.getBool("csv", false));
+    EXPECT_TRUE(args.has("csv"));
+}
+
+TEST(Args, MissingUsesFallback)
+{
+    auto args = parse({"prog"});
+    EXPECT_EQ(args.getInt("nodes", 4), 4);
+    EXPECT_EQ(args.getString("workload", "nas.ep"), "nas.ep");
+    EXPECT_FALSE(args.getBool("csv", false));
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.5), 1.5);
+}
+
+TEST(Args, PositionalArgumentsCollected)
+{
+    auto args = parse({"prog", "alpha", "--k=1", "beta"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "alpha");
+    EXPECT_EQ(args.positional()[1], "beta");
+}
+
+TEST(Args, DoubleParsing)
+{
+    auto args = parse({"prog", "--scale=0.25"});
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.0), 0.25);
+}
+
+TEST(Args, BoolExplicitValues)
+{
+    auto args = parse({"prog", "--a=true", "--b=0", "--c=yes"});
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+}
+
+TEST(Csv, EscapePlainStringUnchanged)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(Csv, EscapeQuotesAndCommas)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterProducesHeaderAndRows)
+{
+    std::ostringstream out;
+    {
+        CsvWriter csv(out);
+        csv.header({"name", "value"});
+        csv.row().field("alpha").field(std::int64_t{42});
+        csv.row().field("beta,gamma").field(2.5);
+    }
+    EXPECT_EQ(out.str(),
+              "name,value\nalpha,42\n\"beta,gamma\",2.5\n");
+}
+
+TEST(Csv, PendingRowFlushedOnDestruction)
+{
+    std::ostringstream out;
+    {
+        CsvWriter csv(out);
+        csv.row().field("tail");
+    }
+    EXPECT_EQ(out.str(), "tail\n");
+}

@@ -1,0 +1,86 @@
+/** Tests for the CPU timing models. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "node/cpu_model.hh"
+
+using namespace aqsim;
+using namespace aqsim::node;
+
+TEST(SimpleCpu, LatencyScalesWithOps)
+{
+    SimpleCpuModel cpu(CpuParams{2.6});
+    EXPECT_EQ(cpu.computeLatency(2.6), 1u);
+    EXPECT_EQ(cpu.computeLatency(26000.0), 10000u);
+    EXPECT_EQ(cpu.computeLatency(0.0), 0u);
+}
+
+TEST(SimpleCpu, DetailFactorIsOne)
+{
+    SimpleCpuModel cpu(CpuParams{1.0});
+    EXPECT_DOUBLE_EQ(cpu.hostDetailFactor(), 1.0);
+}
+
+TEST(CpuModel, BusyTracksNestedComputeBursts)
+{
+    SimpleCpuModel cpu(CpuParams{1.0});
+    EXPECT_FALSE(cpu.busy());
+    cpu.beginCompute();
+    EXPECT_TRUE(cpu.busy());
+    cpu.beginCompute();
+    cpu.endCompute();
+    EXPECT_TRUE(cpu.busy());
+    cpu.endCompute();
+    EXPECT_FALSE(cpu.busy());
+}
+
+TEST(CpuModelDeath, EndWithoutBeginPanics)
+{
+    SimpleCpuModel cpu(CpuParams{1.0});
+    EXPECT_DEATH(cpu.endCompute(), "assertion");
+}
+
+TEST(SamplingCpu, FullDetailMatchesSimpleModel)
+{
+    SamplingCpuModel::Params params;
+    params.cpu.opsPerNs = 2.0;
+    params.detailFraction = 1.0;
+    SamplingCpuModel cpu(params, Rng(1));
+    EXPECT_EQ(cpu.computeLatency(2000.0), 1000u);
+    EXPECT_DOUBLE_EQ(cpu.hostDetailFactor(), 1.0);
+}
+
+TEST(SamplingCpu, FastForwardWindowsCheapenHostCost)
+{
+    SamplingCpuModel::Params params;
+    params.cpu.opsPerNs = 1.0;
+    params.detailFraction = 0.1;
+    params.fastForwardCost = 0.05;
+    params.timingNoise = 0.0;
+    SamplingCpuModel cpu(params, Rng(2));
+    int cheap = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        cpu.computeLatency(100.0);
+        if (cpu.hostDetailFactor() < 1.0)
+            ++cheap;
+    }
+    // ~90% of windows should be fast-forwarded.
+    EXPECT_GT(cheap, n * 8 / 10);
+    EXPECT_LT(cheap, n * 97 / 100);
+}
+
+TEST(SamplingCpu, NoiseChangesLatencyButPreservesMean)
+{
+    SamplingCpuModel::Params params;
+    params.cpu.opsPerNs = 1.0;
+    params.detailFraction = 0.01;
+    params.timingNoise = 0.05;
+    SamplingCpuModel cpu(params, Rng(3));
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(cpu.computeLatency(1000.0));
+    EXPECT_NEAR(sum / n, 1000.0, 10.0);
+}

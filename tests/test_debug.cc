@@ -1,0 +1,148 @@
+/** Tests for the debug tracing subsystem. */
+
+#include <gtest/gtest.h>
+
+#include "base/debug.hh"
+#include "test_util.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+/** RAII: capture trace output and restore clean flag state. */
+class TraceCapture
+{
+  public:
+    TraceCapture() { debug::captureTo(&buffer_); }
+
+    ~TraceCapture()
+    {
+        debug::captureTo(nullptr);
+        debug::clearFlags();
+    }
+
+    const std::string &text() const { return buffer_; }
+
+  private:
+    std::string buffer_;
+};
+
+engine::RunResult
+tracedPing(const char *policy)
+{
+    return test::runLambda(
+        2,
+        [](workloads::AppContext &ctx) -> sim::Process {
+            if (ctx.rank() == 0) {
+                co_await ctx.comm().send(1, 1, 200000);
+            } else {
+                co_await ctx.comm().recv(0, 1);
+            }
+        },
+        policy);
+}
+
+} // namespace
+
+TEST(Debug, FlagsStartDisabled)
+{
+    EXPECT_FALSE(debug::Quantum.enabled());
+    EXPECT_FALSE(debug::Packet.enabled());
+}
+
+TEST(Debug, SetFlagsEnablesNamed)
+{
+    TraceCapture capture;
+    debug::setFlags("Quantum,Straggler");
+    EXPECT_TRUE(debug::Quantum.enabled());
+    EXPECT_TRUE(debug::Straggler.enabled());
+    EXPECT_FALSE(debug::Packet.enabled());
+}
+
+TEST(Debug, AllEnablesEverything)
+{
+    TraceCapture capture;
+    debug::setFlags("All");
+    for ([[maybe_unused]] const auto &name : debug::listFlags())
+        ; // names exist
+    EXPECT_TRUE(debug::Quantum.enabled());
+    EXPECT_TRUE(debug::Packet.enabled());
+    EXPECT_TRUE(debug::Mpi.enabled());
+    EXPECT_TRUE(debug::Engine.enabled());
+}
+
+TEST(Debug, ListContainsAllKnownFlags)
+{
+    auto names = debug::listFlags();
+    EXPECT_NE(std::find(names.begin(), names.end(), "Quantum"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "Mpi"),
+              names.end());
+    EXPECT_GE(names.size(), 5u);
+}
+
+TEST(DebugDeath, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(debug::setFlags("Bogus"),
+                ::testing::ExitedWithCode(1), "unknown debug flag");
+}
+
+TEST(Debug, DisabledFlagsEmitNothing)
+{
+    TraceCapture capture;
+    tracedPing("fixed:1us");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Debug, QuantumFlagTracesBoundaries)
+{
+    TraceCapture capture;
+    debug::setFlags("Quantum");
+    tracedPing("fixed:10us");
+    EXPECT_NE(capture.text().find("sync: quantum"), std::string::npos);
+    EXPECT_NE(capture.text().find("next Q=10000"), std::string::npos);
+}
+
+TEST(Debug, MpiFlagTracesRendezvousHandshake)
+{
+    TraceCapture capture;
+    debug::setFlags("Mpi");
+    tracedPing("fixed:1us");
+    const auto &text = capture.text();
+    EXPECT_NE(text.find("got RTS"), std::string::npos);
+    EXPECT_NE(text.find("got CTS"), std::string::npos);
+    EXPECT_NE(text.find("got window ACK"), std::string::npos);
+    EXPECT_NE(text.find("matched msg from 0"), std::string::npos);
+}
+
+TEST(Debug, PacketFlagTracesEveryFrame)
+{
+    TraceCapture capture;
+    debug::setFlags("Packet");
+    auto result = tracedPing("fixed:1us");
+    // One trace line per routed frame.
+    std::size_t lines = 0;
+    for (char c : capture.text())
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, result.packets);
+}
+
+TEST(Debug, StragglerFlagFiresOnlyWhenLate)
+{
+    {
+        TraceCapture capture;
+        debug::setFlags("Straggler");
+        tracedPing("fixed:1us"); // conservative: never late
+        EXPECT_TRUE(capture.text().empty());
+    }
+    {
+        TraceCapture capture;
+        debug::setFlags("Straggler");
+        auto result = tracedPing("fixed:500us");
+        if (result.stragglers > result.nextQuantumDeliveries)
+            EXPECT_NE(capture.text().find("late: ideal="),
+                      std::string::npos);
+    }
+}

@@ -1,0 +1,197 @@
+/** Unit tests for the per-node discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace aqsim;
+using sim::EventQueue;
+using sim::Priority;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTick(), maxTick);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (q.runOne()) {}
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByInsertionSequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (q.runOne()) {}
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityBeatsInsertionOrderAtSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); }, Priority::Default);
+    q.schedule(5, [&] { order.push_back(0); }, Priority::Delivery);
+    q.schedule(5, [&] { order.push_back(2); }, Priority::Late);
+    while (q.runOne()) {}
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, NowAdvancesToEventTick)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.runOne();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(10, [&] {
+        q.scheduleIn(5, [&] { seen = q.now(); });
+    });
+    while (q.runOne()) {}
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, RunUntilExecutesInclusiveAndAdvancesNow)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(21, [&] { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.nextTick(), 21u);
+}
+
+TEST(EventQueue, RunUntilHonorsEventsScheduledDuringExecution)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    q.schedule(10, [&] {
+        ticks.push_back(q.now());
+        q.scheduleIn(5, [&] { ticks.push_back(q.now()); });
+    });
+    q.runUntil(100);
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_TRUE(q.empty());
+    q.runUntil(100);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.numCancelled(), 1u);
+}
+
+TEST(EventQueue, DescheduleTwiceReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id));
+}
+
+TEST(EventQueue, DescheduleDoesNotDisturbOtherEvents)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    auto id = q.schedule(15, [&] { order.push_back(99); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.deschedule(id);
+    while (q.runOne()) {}
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, FastForwardAdvancesWithoutRunning)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(100, [&] { ran = true; });
+    q.fastForwardTo(100);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_FALSE(ran);
+    // Event at exactly now is still runnable.
+    EXPECT_TRUE(q.runOne());
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CountersTrackLifecycle)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    auto id = q.schedule(3, [] {});
+    q.deschedule(id);
+    q.runUntil(10);
+    EXPECT_EQ(q.numScheduled(), 3u);
+    EXPECT_EQ(q.numExecuted(), 2u);
+    EXPECT_EQ(q.numCancelled(), 1u);
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runOne();
+    bool ran = false;
+    q.schedule(10, [&] { ran = true; });
+    q.runOne();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runOne();
+    EXPECT_DEATH(q.schedule(5, [] {}), "assertion");
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    for (Tick t = 1000; t > 0; --t) {
+        q.schedule(t * 7 % 997 + 1, [&, t] {
+            (void)t;
+            if (q.now() < last)
+                monotonic = false;
+            last = q.now();
+        });
+    }
+    while (q.runOne()) {}
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.numExecuted(), 1000u);
+}

@@ -1,0 +1,137 @@
+/** Tests for the host execution cost model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "node/host_cost_model.hh"
+
+using namespace aqsim;
+using namespace aqsim::node;
+
+TEST(HostCost, BusyRateIsBaseSlowdown)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.0;
+    HostCostModel model(params, Rng(1));
+    model.newQuantum(microseconds(1));
+    EXPECT_DOUBLE_EQ(model.rate(true), params.busySlowdownNsPerTick);
+}
+
+TEST(HostCost, IdleIsCheaperThanBusy)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.0;
+    HostCostModel model(params, Rng(1));
+    model.newQuantum(microseconds(1));
+    EXPECT_LT(model.rate(false), model.rate(true));
+    EXPECT_DOUBLE_EQ(model.rate(false),
+                     params.busySlowdownNsPerTick * params.idleFactor);
+}
+
+TEST(HostCost, DetailFactorScalesRate)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.0;
+    HostCostModel model(params, Rng(1));
+    model.newQuantum(microseconds(1));
+    EXPECT_DOUBLE_EQ(model.rate(true, 0.1),
+                     params.busySlowdownNsPerTick * 0.1);
+}
+
+TEST(HostCost, NoiseIsMeanOneOverManyQuanta)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.25;
+    HostCostModel model(params, Rng(7));
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        model.newQuantum(params.noiseChunkTicks);
+        sum += model.currentFactor();
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(HostCost, LongQuantaHaveLessRelativeVariance)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.3;
+    params.noiseRho = 0.0;
+
+    auto variance = [&](Tick quantum) {
+        HostCostModel model(params, Rng(11));
+        double sum = 0.0, sq = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            model.newQuantum(quantum);
+            const double f = model.currentFactor();
+            sum += f;
+            sq += f * f;
+        }
+        const double mean = sum / n;
+        return sq / n - mean * mean;
+    };
+
+    // 1000x longer quantum -> ~1000x smaller variance of the mean.
+    EXPECT_GT(variance(microseconds(1)),
+              10.0 * variance(milliseconds(1)));
+}
+
+TEST(HostCost, CorrelatedNoisePersistsAcrossQuanta)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.3;
+    params.noiseRho = 0.95;
+    HostCostModel model(params, Rng(13));
+    // Lag-1 autocorrelation of the log factors should be near rho.
+    double prev = 0.0, sum_xy = 0.0, sum_x = 0.0, sum_xx = 0.0;
+    const int n = 50000;
+    model.newQuantum(params.noiseChunkTicks);
+    prev = std::log(model.currentFactor());
+    for (int i = 0; i < n; ++i) {
+        model.newQuantum(params.noiseChunkTicks);
+        const double cur = std::log(model.currentFactor());
+        sum_xy += prev * cur;
+        sum_x += prev;
+        sum_xx += prev * prev;
+        prev = cur;
+    }
+    const double mean = sum_x / n;
+    const double corr =
+        (sum_xy / n - mean * mean) / (sum_xx / n - mean * mean);
+    EXPECT_NEAR(corr, 0.95, 0.05);
+}
+
+TEST(HostCost, ZeroSigmaIsDeterministicUnity)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.0;
+    HostCostModel model(params, Rng(17));
+    for (int i = 0; i < 10; ++i) {
+        model.newQuantum(microseconds(5));
+        EXPECT_DOUBLE_EQ(model.currentFactor(), 1.0);
+    }
+}
+
+TEST(HostCost, BarrierCostGrowsWithNodeCount)
+{
+    HostCostParams params;
+    EXPECT_GT(params.barrierNs(64), params.barrierNs(8));
+    EXPECT_DOUBLE_EQ(params.barrierNs(8),
+                     params.barrierBaseNs + 8 * params.barrierPerNodeNs);
+}
+
+TEST(HostCost, SameSeedSameNoiseSequence)
+{
+    HostCostParams params;
+    params.noiseSigma = 0.2;
+    HostCostModel a(params, Rng(99));
+    HostCostModel b(params, Rng(99));
+    for (int i = 0; i < 100; ++i) {
+        a.newQuantum(microseconds(3));
+        b.newQuantum(microseconds(3));
+        EXPECT_DOUBLE_EQ(a.currentFactor(), b.currentFactor());
+    }
+}

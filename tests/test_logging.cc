@@ -1,0 +1,70 @@
+/** Tests for the logging subsystem. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+/** RAII capture of log output into a string. */
+class LogCapture
+{
+  public:
+    LogCapture() { Logger::captureTo(&buffer_); }
+    ~LogCapture() { Logger::captureTo(nullptr); }
+    const std::string &text() const { return buffer_; }
+
+  private:
+    std::string buffer_;
+};
+
+} // namespace
+
+TEST(Logging, InformSuppressedUnlessVerbose)
+{
+    LogCapture capture;
+    Logger::setVerbose(false);
+    inform("hidden %d", 1);
+    EXPECT_TRUE(capture.text().empty());
+    Logger::setVerbose(true);
+    inform("visible %d", 2);
+    Logger::setVerbose(false);
+    EXPECT_NE(capture.text().find("info: visible 2"),
+              std::string::npos);
+}
+
+TEST(Logging, WarnAlwaysEmits)
+{
+    LogCapture capture;
+    warn("watch out: %s", "stragglers");
+    EXPECT_NE(capture.text().find("warn: watch out: stragglers"),
+              std::string::npos);
+}
+
+TEST(Logging, FormatsArguments)
+{
+    LogCapture capture;
+    warn("%d quanta at %.1f us", 42, 2.5);
+    EXPECT_NE(capture.text().find("42 quanta at 2.5 us"),
+              std::string::npos);
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config %d", 7),
+                ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %s broken", "x"),
+                 "invariant x broken");
+}
+
+TEST(LoggingDeath, AssertMacroReportsExpressionAndLocation)
+{
+    EXPECT_DEATH(AQSIM_ASSERT(1 == 2), "assertion '1 == 2' failed");
+}

@@ -1,0 +1,260 @@
+/** Tests for the collective algorithms across rank counts. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_util.hh"
+
+using namespace aqsim;
+using namespace aqsim::workloads;
+using test::runLambda;
+
+namespace
+{
+
+/** Rank counts exercised for every collective (pow2 and not). */
+class CollectiveSizes : public ::testing::TestWithParam<std::size_t>
+{};
+
+} // namespace
+
+TEST_P(CollectiveSizes, BarrierCompletesOnAllRanks)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::barrier(ctx.comm());
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, BarrierActuallySynchronizes)
+{
+    // Rank 0 enters late; no rank may leave before rank 0 entered.
+    const Tick rank0_entry = microseconds(500);
+    std::vector<Tick> exit_times(GetParam(), 0);
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0)
+            co_await ctx.delay(rank0_entry);
+        co_await mpi::barrier(ctx.comm());
+        exit_times[ctx.rank()] = ctx.now();
+    });
+    if (GetParam() == 1)
+        return;
+    for (Tick t : exit_times)
+        EXPECT_GE(t, rank0_entry);
+}
+
+TEST_P(CollectiveSizes, BcastReachesEveryRank)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::bcast(ctx.comm(), 0, 4096);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, BcastFromNonzeroRoot)
+{
+    const Rank root =
+        static_cast<Rank>(GetParam() > 1 ? GetParam() - 1 : 0);
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::bcast(ctx.comm(), root, 1024);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, ReduceCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::reduce(ctx.comm(), 0, 8192);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, AllreduceCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::allreduce(ctx.comm(), 64);
+        co_await mpi::allreduce(ctx.comm(), 8);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, AllgatherCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::allgather(ctx.comm(), 2048);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, GatherCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::gather(ctx.comm(), 0, 1024);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, ScatterCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::scatter(ctx.comm(), 0, 4096);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, ScatterFromNonzeroRoot)
+{
+    const Rank root =
+        static_cast<Rank>(GetParam() > 2 ? 2 : 0);
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::scatter(ctx.comm(), root, 512);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, ReduceScatterCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::reduceScatter(ctx.comm(), 2048);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, AlltoallCompletes)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::alltoall(ctx.comm(), 512);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+TEST_P(CollectiveSizes, AlltoallvWithAsymmetricSizes)
+{
+    std::atomic<int> done{0};
+    const std::size_t n = GetParam();
+    runLambda(n, [&](AppContext &ctx) -> sim::Process {
+        std::vector<std::uint64_t> sizes(ctx.numRanks());
+        for (std::size_t i = 0; i < sizes.size(); ++i)
+            sizes[i] = 100 * (ctx.rank() + 1) + i;
+        co_await mpi::alltoallv(ctx.comm(), std::move(sizes));
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(n));
+}
+
+TEST_P(CollectiveSizes, BackToBackCollectivesKeepTagDiscipline)
+{
+    std::atomic<int> done{0};
+    runLambda(GetParam(), [&](AppContext &ctx) -> sim::Process {
+        for (int i = 0; i < 5; ++i) {
+            co_await mpi::barrier(ctx.comm());
+            co_await mpi::allreduce(ctx.comm(), 8);
+            co_await mpi::alltoall(ctx.comm(), 64);
+        }
+        ++done;
+    });
+    EXPECT_EQ(done.load(), static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Collectives, AllreducePropagatesLatestEntryTime)
+{
+    // allreduce is globally synchronizing: no rank can finish before
+    // the last rank entered.
+    constexpr std::size_t n = 6;
+    const Tick late = microseconds(400);
+    std::vector<Tick> exit_times(n, 0);
+    runLambda(n, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 3)
+            co_await ctx.delay(late);
+        co_await mpi::allreduce(ctx.comm(), 8);
+        exit_times[ctx.rank()] = ctx.now();
+    });
+    for (Tick t : exit_times)
+        EXPECT_GE(t, late);
+}
+
+TEST(Collectives, AlltoallMovesExpectedVolume)
+{
+    constexpr std::size_t n = 4;
+    constexpr std::uint64_t per_pair = 10000;
+    auto result =
+        runLambda(n, [&](AppContext &ctx) -> sim::Process {
+            co_await mpi::alltoall(ctx.comm(), per_pair);
+        });
+    // n*(n-1) messages, each 10000 B -> two fragments.
+    EXPECT_EQ(result.packets, n * (n - 1) * 2);
+}
+
+
+TEST(Collectives, ScatterMovesHalvedAggregates)
+{
+    // Binomial scatter on 8 ranks: root sends 4n, 2n, n shares ->
+    // total payload = (4+2+1+2+1+1+1)*per = 12*per ... verify via the
+    // byte counter instead of a brittle constant: total scattered
+    // bytes must be >= (n-1)*per (every rank got its share) and
+    // <= n*log2(n)*per (tree forwarding bound).
+    constexpr std::size_t n = 8;
+    constexpr std::uint64_t per = 10000;
+    std::atomic<std::uint64_t> total{0};
+    runLambda(n, [&](AppContext &ctx) -> sim::Process {
+        co_await mpi::scatter(ctx.comm(), 0, per);
+        total += ctx.comm().messagesSent();
+        co_return;
+    });
+    // 7 messages total on a binomial tree over 8 ranks.
+    EXPECT_EQ(total.load(), n - 1);
+}
+
+TEST(Collectives, ReduceScatterHalvesVolumePerRound)
+{
+    // On 4 ranks with 1000 B/rank shares (vector 4000 B): round 1
+    // exchanges 2000 B, round 2 exchanges 1000 B per rank pair.
+    auto result =
+        runLambda(4, [&](AppContext &ctx) -> sim::Process {
+            co_await mpi::reduceScatter(ctx.comm(), 1000);
+        });
+    // 2 rounds x 4 ranks x 1 message each.
+    EXPECT_EQ(result.packets, 8u);
+}
+
+TEST(Collectives, BarrierMessageComplexityIsLogarithmic)
+{
+    auto count_packets = [&](std::size_t n) {
+        return runLambda(n,
+                         [&](AppContext &ctx) -> sim::Process {
+                             co_await mpi::barrier(ctx.comm());
+                         })
+            .packets;
+    };
+    // Dissemination barrier: n * ceil(log2(n)) messages.
+    EXPECT_EQ(count_packets(2), 2u);
+    EXPECT_EQ(count_packets(4), 8u);
+    EXPECT_EQ(count_packets(8), 24u);
+    EXPECT_EQ(count_packets(5), 15u);
+}

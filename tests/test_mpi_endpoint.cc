@@ -1,0 +1,332 @@
+/** Tests for the message-passing endpoint: matching, protocols. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "test_util.hh"
+
+using namespace aqsim;
+using namespace aqsim::workloads;
+using test::LambdaWorkload;
+using test::runLambda;
+
+TEST(Endpoint, BlockingSendRecvDeliversOnce)
+{
+    std::atomic<int> received{0};
+    std::atomic<std::uint64_t> bytes{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 5, 1234);
+        } else {
+            mpi::Message m = co_await ctx.comm().recv(0, 5);
+            ++received;
+            bytes = m.bytes;
+            EXPECT_EQ(m.src, 0u);
+            EXPECT_EQ(m.tag, 5);
+        }
+    });
+    EXPECT_EQ(received.load(), 1);
+    EXPECT_EQ(bytes.load(), 1234u);
+}
+
+TEST(Endpoint, RecvBeforeSendAndAfterSendBothMatch)
+{
+    // First message arrives before the recv is posted (unexpected
+    // queue); second recv is posted before the message arrives.
+    std::vector<Tick> recv_times;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 100);
+            co_await ctx.delay(microseconds(50));
+            co_await ctx.comm().send(1, 1, 100);
+        } else {
+            co_await ctx.delay(microseconds(20)); // late post
+            co_await ctx.comm().recv(0, 1);
+            recv_times.push_back(ctx.now());
+            co_await ctx.comm().recv(0, 1); // early post
+            recv_times.push_back(ctx.now());
+        }
+    });
+    ASSERT_EQ(recv_times.size(), 2u);
+    EXPECT_GE(recv_times[0], microseconds(20));
+    EXPECT_GT(recv_times[1], microseconds(50));
+}
+
+TEST(Endpoint, MessagesMatchInSendOrderPerSource)
+{
+    std::vector<std::uint64_t> sizes;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 9, 111);
+            co_await ctx.comm().send(1, 9, 222);
+            co_await ctx.comm().send(1, 9, 333);
+        } else {
+            for (int i = 0; i < 3; ++i) {
+                mpi::Message m = co_await ctx.comm().recv(0, 9);
+                sizes.push_back(m.bytes);
+            }
+        }
+    });
+    EXPECT_EQ(sizes, (std::vector<std::uint64_t>{111, 222, 333}));
+}
+
+TEST(Endpoint, TagsSeparateMessageStreams)
+{
+    std::vector<int> tags;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 64);
+            co_await ctx.comm().send(1, 2, 64);
+        } else {
+            // Receive in reverse tag order: matching must be by tag,
+            // not arrival order.
+            co_await ctx.comm().recv(0, 2);
+            tags.push_back(2);
+            co_await ctx.comm().recv(0, 1);
+            tags.push_back(1);
+        }
+    });
+    EXPECT_EQ(tags, (std::vector<int>{2, 1}));
+}
+
+TEST(Endpoint, AnySourceMatchesEarliestArrival)
+{
+    std::vector<Rank> sources;
+    runLambda(3, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 1) {
+            co_await ctx.delay(microseconds(30));
+            co_await ctx.comm().send(0, 4, 64);
+        } else if (ctx.rank() == 2) {
+            co_await ctx.comm().send(0, 4, 64);
+        } else {
+            for (int i = 0; i < 2; ++i) {
+                mpi::Message m =
+                    co_await ctx.comm().recv(mpi::anySource, 4);
+                sources.push_back(m.src);
+            }
+        }
+    });
+    // Rank 2 sent immediately, rank 1 after 30 us.
+    EXPECT_EQ(sources, (std::vector<Rank>{2, 1}));
+}
+
+TEST(Endpoint, AnyTagMatches)
+{
+    std::atomic<int> got{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 77, 64);
+        } else {
+            mpi::Message m = co_await ctx.comm().recv(0, mpi::anyTag);
+            got = m.tag;
+        }
+    });
+    EXPECT_EQ(got.load(), 77);
+}
+
+TEST(Endpoint, LargeMessageUsesRendezvousAndArrivesIntact)
+{
+    // > eagerThreshold (64 KiB) triggers RTS/CTS.
+    std::atomic<std::uint64_t> got_bytes{0};
+    constexpr std::uint64_t big = 1 << 20; // 1 MiB
+    auto result =
+        runLambda(2, [&](AppContext &ctx) -> sim::Process {
+            if (ctx.rank() == 0) {
+                co_await ctx.comm().send(1, 3, big);
+            } else {
+                mpi::Message m = co_await ctx.comm().recv(0, 3);
+                got_bytes = m.bytes;
+            }
+        });
+    EXPECT_EQ(got_bytes.load(), big);
+    // 1 MiB in ~8922-byte fragments plus RTS + CTS control frames
+    // plus one flow-control ACK per non-final 64 KiB window.
+    const auto frags = mpi::fragmentCount(big, 9000 - 78);
+    const std::uint32_t window = 64 * 1024 / (9000 - 78);
+    const auto acks = (frags + window - 1) / window - 1;
+    EXPECT_EQ(result.packets, frags + 2 + acks);
+}
+
+TEST(Endpoint, EagerMessageHasNoControlFrames)
+{
+    auto result =
+        runLambda(2, [&](AppContext &ctx) -> sim::Process {
+            if (ctx.rank() == 0) {
+                co_await ctx.comm().send(1, 3, 1000);
+            } else {
+                co_await ctx.comm().recv(0, 3);
+            }
+        });
+    EXPECT_EQ(result.packets, 1u);
+}
+
+TEST(Endpoint, RendezvousWhenRecvPostedFirst)
+{
+    std::atomic<int> ok{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.delay(microseconds(100));
+            co_await ctx.comm().send(1, 3, 200000);
+        } else {
+            co_await ctx.comm().recv(0, 3); // posted before RTS
+            ++ok;
+        }
+    });
+    EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(Endpoint, RendezvousWhenRtsArrivesFirst)
+{
+    std::atomic<int> ok{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 3, 200000);
+        } else {
+            co_await ctx.delay(microseconds(100)); // RTS waits
+            co_await ctx.comm().recv(0, 3);
+            ++ok;
+        }
+    });
+    EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(Endpoint, ConcurrentBidirectionalLargeSendsDoNotDeadlock)
+{
+    std::atomic<int> done{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        const Rank peer = ctx.rank() == 0 ? 1 : 0;
+        auto s = ctx.comm().send(peer, 8, 500000);
+        s.start();
+        co_await ctx.comm().recv(static_cast<int>(peer), 8);
+        co_await std::move(s);
+        ++done;
+    });
+    EXPECT_EQ(done.load(), 2);
+}
+
+TEST(Endpoint, ManySmallMessagesAllDelivered)
+{
+    std::atomic<int> count{0};
+    constexpr int n_msgs = 200;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            for (int i = 0; i < n_msgs; ++i)
+                co_await ctx.comm().send(1, 6, 64 + i);
+        } else {
+            for (int i = 0; i < n_msgs; ++i) {
+                mpi::Message m = co_await ctx.comm().recv(0, 6);
+                EXPECT_EQ(m.bytes,
+                          static_cast<std::uint64_t>(64 + i));
+                ++count;
+            }
+        }
+    });
+    EXPECT_EQ(count.load(), n_msgs);
+}
+
+TEST(Endpoint, ZeroByteMessageStillSynchronizes)
+{
+    std::atomic<int> got{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 2, 0);
+        } else {
+            mpi::Message m = co_await ctx.comm().recv(0, 2);
+            EXPECT_EQ(m.bytes, 0u);
+            ++got;
+        }
+    });
+    EXPECT_EQ(got.load(), 1);
+}
+
+TEST(Endpoint, DeadlockIsDetectedAndReported)
+{
+    // Both ranks wait for a message that is never sent.
+    EXPECT_DEATH(
+        runLambda(2,
+                  [&](AppContext &ctx) -> sim::Process {
+                      co_await ctx.comm().recv(
+                          static_cast<int>(1 - ctx.rank()), 1);
+                  }),
+        "deadlock");
+}
+
+TEST(Endpoint, RoundtripLatencyMatchesPhysicalModel)
+{
+    // One 1000-byte ping and pong with conservative sync: the
+    // measured roundtrip must equal the deterministic component sum.
+    std::vector<Tick> rtt;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            const Tick t0 = ctx.now();
+            co_await ctx.comm().send(1, 1, 1000);
+            co_await ctx.comm().recv(1, 1);
+            rtt.push_back(ctx.now() - t0);
+        } else {
+            co_await ctx.comm().recv(0, 1);
+            co_await ctx.comm().send(0, 1, 1000);
+        }
+    });
+    ASSERT_EQ(rtt.size(), 1u);
+    // One direction: sendOverhead 400 + copy(1000/6=167) + txOverhead
+    // 100 + serialization(1078B/10=108) + txLatency 500 + rxLatency
+    // 500 + recvOverhead 400; the pong adds the same again.
+    const Tick one_way = 400 + 167 + 100 + 108 + 500 + 500 + 400;
+    EXPECT_NEAR(static_cast<double>(rtt[0]),
+                static_cast<double>(2 * one_way), 10.0);
+}
+
+TEST(Endpoint, MessageLatencyMatchesRoundtripComponents)
+{
+    // Message::latency() reports send-to-arrival; for a 1000-byte
+    // eager message this is the deterministic one-way component sum
+    // minus the receive overhead (charged after completion).
+    std::vector<Tick> latencies;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 1000);
+        } else {
+            mpi::Message m = co_await ctx.comm().recv(0, 1);
+            latencies.push_back(m.latency());
+        }
+    });
+    ASSERT_EQ(latencies.size(), 1u);
+    // sendOverhead 400 + copy 167 + txOverhead 100 + serialization
+    // 108 + txLatency 500 + rxLatency 500 = 1775.
+    EXPECT_NEAR(static_cast<double>(latencies[0]), 1775.0, 10.0);
+}
+
+TEST(Endpoint, LatencyInflatesUnderCoarseQuanta)
+{
+    auto measure = [](const char *policy) {
+        std::vector<Tick> latencies;
+        runLambda(
+            2,
+            [&](AppContext &ctx) -> sim::Process {
+                if (ctx.rank() == 0) {
+                    for (int i = 0; i < 20; ++i) {
+                        co_await ctx.comm().send(1, 1, 1000);
+                        co_await ctx.comm().recv(1, 2);
+                    }
+                } else {
+                    for (int i = 0; i < 20; ++i) {
+                        mpi::Message m =
+                            co_await ctx.comm().recv(0, 1);
+                        latencies.push_back(m.latency());
+                        co_await ctx.comm().send(0, 2, 64);
+                    }
+                }
+            },
+            policy);
+        Tick total = 0;
+        for (Tick l : latencies)
+            total += l;
+        return static_cast<double>(total) /
+               static_cast<double>(latencies.size());
+    };
+    const double exact = measure("fixed:1us");
+    const double coarse = measure("fixed:200us");
+    EXPECT_GT(coarse, 2.0 * exact);
+}

@@ -1,0 +1,161 @@
+/** Tests for non-blocking receives (irecv) and probe. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_util.hh"
+
+using namespace aqsim;
+using namespace aqsim::workloads;
+using test::runLambda;
+
+TEST(Irecv, PostThenJoinReceives)
+{
+    std::atomic<std::uint64_t> got{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 2048);
+        } else {
+            auto req = ctx.comm().irecv(0, 1);
+            mpi::Message m = co_await req;
+            got = m.bytes;
+        }
+    });
+    EXPECT_EQ(got.load(), 2048u);
+}
+
+TEST(Irecv, OverlapsComputationWithReception)
+{
+    // The receive completes while the receiver computes; joining
+    // afterwards must not wait again.
+    std::vector<Tick> times;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 512);
+        } else {
+            auto req = ctx.comm().irecv(0, 1);
+            co_await ctx.compute(2.6e6); // ~1 ms >> message latency
+            const Tick before_join = ctx.now();
+            co_await req;
+            times.push_back(before_join);
+            times.push_back(ctx.now());
+        }
+    });
+    ASSERT_EQ(times.size(), 2u);
+    // Join was instantaneous: message had long arrived.
+    EXPECT_EQ(times[0], times[1]);
+}
+
+TEST(Irecv, ReadyFlagTracksCompletion)
+{
+    std::vector<bool> ready;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.delay(microseconds(50));
+            co_await ctx.comm().send(1, 1, 64);
+        } else {
+            auto req = ctx.comm().irecv(0, 1);
+            ready.push_back(req.ready()); // not yet
+            co_await ctx.delay(microseconds(200));
+            ready.push_back(req.ready()); // arrived meanwhile
+            co_await req;
+        }
+    });
+    ASSERT_EQ(ready.size(), 2u);
+    EXPECT_FALSE(ready[0]);
+    EXPECT_TRUE(ready[1]);
+}
+
+TEST(Irecv, MultipleOutstandingRequestsMatchInOrder)
+{
+    std::vector<std::uint64_t> sizes;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 1, 111);
+            co_await ctx.comm().send(1, 1, 222);
+        } else {
+            auto r1 = ctx.comm().irecv(0, 1);
+            auto r2 = ctx.comm().irecv(0, 1);
+            mpi::Message m2 = co_await r2;
+            mpi::Message m1 = co_await r1;
+            sizes.push_back(m1.bytes);
+            sizes.push_back(m2.bytes);
+        }
+    });
+    // Posting order decides matching: r1 gets the first message even
+    // though it was joined second.
+    EXPECT_EQ(sizes, (std::vector<std::uint64_t>{111, 222}));
+}
+
+TEST(Irecv, CancelledRequestLeavesMessageForOthers)
+{
+    std::atomic<std::uint64_t> got{0};
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.delay(microseconds(100));
+            co_await ctx.comm().send(1, 1, 4242);
+        } else {
+            {
+                auto dropped = ctx.comm().irecv(0, 1);
+                // destroyed unmatched -> cancelled
+            }
+            mpi::Message m = co_await ctx.comm().recv(0, 1);
+            got = m.bytes;
+        }
+    });
+    EXPECT_EQ(got.load(), 4242u);
+}
+
+TEST(Probe, SeesUnexpectedMessagesWithoutConsuming)
+{
+    std::vector<bool> probes;
+    runLambda(2, [&](AppContext &ctx) -> sim::Process {
+        if (ctx.rank() == 0) {
+            co_await ctx.comm().send(1, 7, 64);
+        } else {
+            probes.push_back(ctx.comm().probe(0, 7)); // nothing yet
+            co_await ctx.delay(microseconds(100));
+            probes.push_back(ctx.comm().probe(0, 7));  // arrived
+            probes.push_back(ctx.comm().probe(0, 8));  // wrong tag
+            probes.push_back(ctx.comm().probe(mpi::anySource,
+                                              mpi::anyTag));
+            co_await ctx.comm().recv(0, 7);
+            probes.push_back(ctx.comm().probe(0, 7)); // consumed
+        }
+    });
+    ASSERT_EQ(probes.size(), 5u);
+    EXPECT_FALSE(probes[0]);
+    EXPECT_TRUE(probes[1]);
+    EXPECT_FALSE(probes[2]);
+    EXPECT_TRUE(probes[3]);
+    EXPECT_FALSE(probes[4]);
+}
+
+TEST(Heterogeneous, SlowerGuestCpuStretchesItsCompute)
+{
+    std::vector<Tick> finish(2, 0);
+    test::LambdaWorkload workload(
+        [&](AppContext &ctx) -> sim::Process {
+            co_await ctx.compute(2.6e6);
+            finish[ctx.rank()] = ctx.now();
+        });
+    auto params = harness::defaultCluster(2, 1);
+    params.cpuSpeedFactors = {1.0, 0.5}; // node 1 at half speed
+    auto policy = core::parsePolicy("fixed:1us");
+    engine::SequentialEngine engine;
+    engine.run(params, workload, *policy);
+    EXPECT_NEAR(static_cast<double>(finish[1]),
+                2.0 * static_cast<double>(finish[0]),
+                static_cast<double>(finish[0]) * 0.01);
+}
+
+TEST(Heterogeneous, MismatchedFactorCountIsFatal)
+{
+    test::LambdaWorkload workload(
+        [](AppContext &) -> sim::Process { co_return; });
+    auto params = harness::defaultCluster(4, 1);
+    params.cpuSpeedFactors = {1.0, 2.0}; // wrong size
+    EXPECT_EXIT(engine::Cluster(params, workload),
+                ::testing::ExitedWithCode(1), "cpuSpeedFactors");
+}

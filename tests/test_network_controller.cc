@@ -1,0 +1,196 @@
+/** Tests for the network controller: routing, timing, accounting. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network_controller.hh"
+#include "stats/stats.hh"
+
+using namespace aqsim;
+using namespace aqsim::net;
+
+namespace
+{
+
+/** Captures placements so tests can verify controller behaviour. */
+class RecordingScheduler : public DeliveryScheduler
+{
+  public:
+    struct Placement
+    {
+        PacketPtr pkt;
+        DeliveryKind kind;
+        Tick actual;
+    };
+
+    /** Next placement behaves as configured. */
+    DeliveryKind nextKind = DeliveryKind::OnTime;
+    Tick extraLateness = 0;
+
+    Tick
+    place(const PacketPtr &pkt, DeliveryKind &kind) override
+    {
+        kind = nextKind;
+        const Tick actual = pkt->idealArrival + extraLateness;
+        placements.push_back(Placement{pkt, kind, actual});
+        return actual;
+    }
+
+    std::vector<Placement> placements;
+};
+
+struct ControllerFixture : public ::testing::Test
+{
+    ControllerFixture()
+        : root("cluster"), controller(4, NetworkParams{}, root)
+    {
+        controller.setScheduler(&scheduler);
+    }
+
+    PacketPtr
+    makeFrame(NodeId src, NodeId dst, std::uint32_t bytes,
+              Tick depart)
+    {
+        auto pkt = makePacket(src, dst, bytes, depart);
+        pkt->departTick = depart;
+        return pkt;
+    }
+
+    stats::Group root;
+    RecordingScheduler scheduler;
+    NetworkController controller;
+};
+
+} // namespace
+
+TEST_F(ControllerFixture, MinNetworkLatencyMatchesPaperConfig)
+{
+    // Default NicParams: 500+500 latency + 64B/10GBps serialization.
+    const Tick t = controller.minNetworkLatency();
+    EXPECT_GE(t, 1000u);
+    EXPECT_LE(t, 1010u);
+}
+
+TEST_F(ControllerFixture, RoutesUnicastWithIdealArrival)
+{
+    controller.inject(makeFrame(0, 1, 9000, 5000));
+    ASSERT_EQ(scheduler.placements.size(), 1u);
+    const auto &p = scheduler.placements[0];
+    // Perfect switch: ideal = depart + rx latency.
+    EXPECT_EQ(p.pkt->idealArrival, 5000u + 500u);
+    EXPECT_EQ(controller.totalPackets(), 1u);
+    EXPECT_EQ(controller.packetsThisQuantum(), 1u);
+}
+
+TEST_F(ControllerFixture, AssignsUniqueIds)
+{
+    controller.inject(makeFrame(0, 1, 100, 0));
+    controller.inject(makeFrame(1, 2, 100, 0));
+    EXPECT_NE(scheduler.placements[0].pkt->id,
+              scheduler.placements[1].pkt->id);
+}
+
+TEST_F(ControllerFixture, BroadcastReplicatesToAllOthers)
+{
+    controller.inject(makeFrame(2, broadcastNode, 100, 0));
+    ASSERT_EQ(scheduler.placements.size(), 3u);
+    std::vector<NodeId> dsts;
+    for (const auto &p : scheduler.placements)
+        dsts.push_back(p.pkt->dst);
+    EXPECT_EQ(dsts, (std::vector<NodeId>{0, 1, 3}));
+    EXPECT_EQ(controller.totalPackets(), 3u);
+}
+
+TEST_F(ControllerFixture, QuantumPacketCountResetsAtBeginQuantum)
+{
+    controller.inject(makeFrame(0, 1, 100, 0));
+    controller.inject(makeFrame(0, 2, 100, 0));
+    EXPECT_EQ(controller.packetsThisQuantum(), 2u);
+    controller.beginQuantum();
+    EXPECT_EQ(controller.packetsThisQuantum(), 0u);
+    EXPECT_EQ(controller.totalPackets(), 2u);
+}
+
+TEST_F(ControllerFixture, StragglerAccounting)
+{
+    scheduler.nextKind = DeliveryKind::Straggler;
+    scheduler.extraLateness = 123;
+    controller.inject(makeFrame(0, 1, 100, 0));
+    EXPECT_EQ(controller.totalStragglers(), 1u);
+    EXPECT_EQ(controller.totalNextQuantum(), 0u);
+    EXPECT_EQ(controller.totalLatenessTicks(), 123u);
+}
+
+TEST_F(ControllerFixture, NextQuantumCountsAsStragglerToo)
+{
+    scheduler.nextKind = DeliveryKind::NextQuantum;
+    scheduler.extraLateness = 50;
+    controller.inject(makeFrame(0, 1, 100, 0));
+    EXPECT_EQ(controller.totalStragglers(), 1u);
+    EXPECT_EQ(controller.totalNextQuantum(), 1u);
+}
+
+TEST_F(ControllerFixture, OnTimeDeliveriesAreNotStragglers)
+{
+    controller.inject(makeFrame(0, 1, 100, 0));
+    EXPECT_EQ(controller.totalStragglers(), 0u);
+    EXPECT_EQ(controller.totalLatenessTicks(), 0u);
+}
+
+TEST_F(ControllerFixture, ObserversSeeEveryPacket)
+{
+    std::vector<std::pair<NodeId, Tick>> seen;
+    controller.addObserver([&](const Packet &pkt, Tick actual) {
+        seen.emplace_back(pkt.dst, actual);
+    });
+    controller.inject(makeFrame(0, 3, 100, 700));
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].first, 3u);
+    EXPECT_EQ(seen[0].second, 700u + 500u);
+}
+
+TEST_F(ControllerFixture, ResetClearsCounters)
+{
+    controller.inject(makeFrame(0, 1, 100, 0));
+    controller.reset();
+    EXPECT_EQ(controller.totalPackets(), 0u);
+    EXPECT_EQ(controller.packetsThisQuantum(), 0u);
+}
+
+TEST_F(ControllerFixture, StoreAndForwardSwitchDelaysThroughPorts)
+{
+    NetworkParams params;
+    params.switchModel =
+        std::make_shared<StoreAndForwardSwitch>(4, 10.0, 200);
+    stats::Group root2("cluster");
+    NetworkController ctrl(4, params, root2);
+    RecordingScheduler sched;
+    ctrl.setScheduler(&sched);
+
+    auto pkt = makePacket(0, 1, 9000, 0);
+    pkt->departTick = 0;
+    ctrl.inject(pkt);
+    // traversal 200 + 9000B at 10 B/ns = 900 + rx latency 500.
+    EXPECT_EQ(sched.placements[0].pkt->idealArrival, 200u + 900u + 500u);
+    EXPECT_EQ(ctrl.minNetworkLatency(), 500u + 200u + 500u + 7u);
+}
+
+TEST(NicParams, SerializationRoundsUp)
+{
+    NicParams nic;
+    nic.bytesPerNs = 10.0;
+    EXPECT_EQ(nic.serialization(9000), 900u);
+    EXPECT_EQ(nic.serialization(64), 7u); // 6.4 -> 7
+    EXPECT_EQ(nic.serialization(1), 1u);
+}
+
+TEST(ControllerDeath, SelfSendIsRejected)
+{
+    stats::Group root("cluster");
+    NetworkController ctrl(2, NetworkParams{}, root);
+    RecordingScheduler sched;
+    ctrl.setScheduler(&sched);
+    auto pkt = makePacket(0, 0, 100, 0);
+    EXPECT_DEATH(ctrl.inject(pkt), "assertion");
+}

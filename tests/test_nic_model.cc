@@ -1,0 +1,124 @@
+/** Tests for the NIC transmit/receive model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network_controller.hh"
+#include "node/nic_model.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+using namespace aqsim;
+using namespace aqsim::net;
+using namespace aqsim::node;
+
+namespace
+{
+
+class CaptureScheduler : public DeliveryScheduler
+{
+  public:
+    Tick
+    place(const PacketPtr &pkt, DeliveryKind &kind) override
+    {
+        kind = DeliveryKind::OnTime;
+        packets.push_back(pkt);
+        return pkt->idealArrival;
+    }
+
+    std::vector<PacketPtr> packets;
+};
+
+struct NicFixture : public ::testing::Test
+{
+    NicFixture()
+        : root("cluster"), controller(2, NetworkParams{}, root),
+          nic(0, queue, controller, root)
+    {
+        controller.setScheduler(&scheduler);
+    }
+
+    stats::Group root;
+    CaptureScheduler scheduler;
+    sim::EventQueue queue;
+    NetworkController controller;
+    NicModel nic;
+};
+
+} // namespace
+
+TEST_F(NicFixture, DepartIncludesOverheadSerializationAndLatency)
+{
+    queue.schedule(1000, [&] { nic.send(1, 9000, nullptr); });
+    queue.runOne();
+    ASSERT_EQ(scheduler.packets.size(), 1u);
+    const auto &pkt = *scheduler.packets[0];
+    EXPECT_EQ(pkt.sendTick, 1000u);
+    // 1000 + txOverhead 100 + 9000B at 10B/ns (900) + txLatency 500.
+    EXPECT_EQ(pkt.departTick, 1000u + 100u + 900u + 500u);
+}
+
+TEST_F(NicFixture, BackToBackFramesQueueOnSerialization)
+{
+    queue.schedule(0, [&] {
+        nic.send(1, 9000, nullptr);
+        nic.send(1, 9000, nullptr);
+    });
+    queue.runOne();
+    ASSERT_EQ(scheduler.packets.size(), 2u);
+    const Tick d0 = scheduler.packets[0]->departTick;
+    const Tick d1 = scheduler.packets[1]->departTick;
+    // Second frame waits for the first one's serialization slot.
+    EXPECT_EQ(d1 - d0, 900u);
+    EXPECT_EQ(nic.txBusyUntil(), 100u + 900u + 900u);
+}
+
+TEST_F(NicFixture, IdleGapResetsQueueing)
+{
+    queue.schedule(0, [&] { nic.send(1, 9000, nullptr); });
+    queue.runOne();
+    queue.schedule(50000, [&] { nic.send(1, 9000, nullptr); });
+    queue.runOne();
+    const Tick d1 = scheduler.packets[1]->departTick;
+    EXPECT_EQ(d1, 50000u + 100u + 900u + 500u);
+}
+
+TEST_F(NicFixture, DeliverySchedulesRxEventAndInvokesHandler)
+{
+    std::vector<std::pair<Tick, std::uint32_t>> received;
+    nic.setRxHandler([&](const PacketPtr &pkt) {
+        received.emplace_back(queue.now(), pkt->bytes);
+    });
+    auto pkt = makePacket(1, 0, 777, 0);
+    nic.deliverAt(pkt, 4242);
+    queue.runUntil(10000);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].first, 4242u);
+    EXPECT_EQ(received[0].second, 777u);
+}
+
+TEST_F(NicFixture, StatsCountFrames)
+{
+    nic.setRxHandler([](const PacketPtr &) {});
+    queue.schedule(0, [&] { nic.send(1, 500, nullptr); });
+    queue.runOne();
+    nic.deliverAt(makePacket(1, 0, 200, 0), 100);
+    queue.runUntil(1000);
+    const auto *tx = root.find("node-less"); // not present
+    EXPECT_EQ(tx, nullptr);
+    // The NIC registers its stats under the group passed at
+    // construction (here the root itself).
+    const auto *tx_frames = root.find("nic.txFrames");
+    const auto *rx_frames = root.find("nic.rxFrames");
+    ASSERT_NE(tx_frames, nullptr);
+    ASSERT_NE(rx_frames, nullptr);
+    EXPECT_DOUBLE_EQ(tx_frames->rows()[0].second, 1.0);
+    EXPECT_DOUBLE_EQ(rx_frames->rows()[0].second, 1.0);
+}
+
+TEST_F(NicFixture, OversizedFramePanics)
+{
+    queue.schedule(0, [&] { nic.send(1, 9001, nullptr); });
+    EXPECT_DEATH(queue.runOne(), "assertion");
+}

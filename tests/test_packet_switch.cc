@@ -1,0 +1,70 @@
+/** Tests for packets and switch timing models. */
+
+#include <gtest/gtest.h>
+
+#include "base/types.hh"
+#include "net/packet.hh"
+#include "net/switch_model.hh"
+
+using namespace aqsim;
+using namespace aqsim::net;
+
+TEST(Packet, FactoryInitializesTimestamps)
+{
+    auto pkt = makePacket(1, 2, 512, 1000);
+    EXPECT_EQ(pkt->src, 1u);
+    EXPECT_EQ(pkt->dst, 2u);
+    EXPECT_EQ(pkt->bytes, 512u);
+    EXPECT_EQ(pkt->sendTick, 1000u);
+    EXPECT_EQ(pkt->departTick, 1000u);
+}
+
+TEST(Packet, ToStringContainsEndpoints)
+{
+    auto pkt = makePacket(3, 7, 64, 0);
+    const std::string s = pkt->toString();
+    EXPECT_NE(s.find("3->7"), std::string::npos);
+    EXPECT_NE(s.find("64B"), std::string::npos);
+}
+
+TEST(PerfectSwitch, ZeroLatencyInfiniteBandwidth)
+{
+    PerfectSwitch sw;
+    EXPECT_EQ(sw.egress(0, 1, 9000, 555), 555u);
+    EXPECT_EQ(sw.egress(0, 1, 9000, 555), 555u); // no port occupancy
+    EXPECT_EQ(sw.minTraversal(), 0u);
+}
+
+TEST(StoreAndForwardSwitch, AddsTraversalAndSerialization)
+{
+    // 1 byte/ns, 100 ns traversal.
+    StoreAndForwardSwitch sw(4, 1.0, 100);
+    // 1000B frame entering at t=0: exits at 100 + 1000.
+    EXPECT_EQ(sw.egress(0, 1, 1000, 0), 1100u);
+    EXPECT_EQ(sw.minTraversal(), 100u);
+}
+
+TEST(StoreAndForwardSwitch, OutputPortContentionQueues)
+{
+    StoreAndForwardSwitch sw(4, 1.0, 100);
+    EXPECT_EQ(sw.egress(0, 1, 1000, 0), 1100u);
+    // Second frame to the same port at the same time queues behind.
+    EXPECT_EQ(sw.egress(2, 1, 1000, 0), 2100u);
+    // A frame to a different port does not queue.
+    EXPECT_EQ(sw.egress(2, 3, 1000, 0), 1100u);
+}
+
+TEST(StoreAndForwardSwitch, ResetClearsPortState)
+{
+    StoreAndForwardSwitch sw(2, 1.0, 10);
+    sw.egress(0, 1, 5000, 0);
+    sw.reset();
+    EXPECT_EQ(sw.egress(0, 1, 1000, 0), 1010u);
+}
+
+TEST(StoreAndForwardSwitch, FractionalBandwidthRoundsUp)
+{
+    StoreAndForwardSwitch sw(2, 3.0, 0); // 3 bytes/ns
+    // 10 bytes at 3 B/ns = 3.33 ns -> ceil 4.
+    EXPECT_EQ(sw.egress(0, 1, 10, 0), 4u);
+}

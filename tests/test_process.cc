@@ -1,0 +1,282 @@
+/** Tests for coroutine processes, triggers, latches and nesting. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/process.hh"
+
+using namespace aqsim;
+using sim::DelayAwaitable;
+using sim::EventQueue;
+using sim::Latch;
+using sim::Process;
+using sim::Trigger;
+
+namespace
+{
+
+Process
+delayTwice(EventQueue &q, std::vector<Tick> &ticks)
+{
+    ticks.push_back(q.now());
+    co_await DelayAwaitable(q, 10);
+    ticks.push_back(q.now());
+    co_await DelayAwaitable(q, 5);
+    ticks.push_back(q.now());
+}
+
+Process
+waitTrigger(EventQueue &q, Trigger &t, std::vector<Tick> &ticks)
+{
+    co_await t.wait();
+    ticks.push_back(q.now());
+}
+
+Process
+child(EventQueue &q, int &state)
+{
+    co_await DelayAwaitable(q, 7);
+    state = 1;
+}
+
+Process
+parent(EventQueue &q, int &state, Tick &after_child)
+{
+    co_await child(q, state);
+    after_child = q.now();
+    co_await DelayAwaitable(q, 3);
+}
+
+Process
+immediate(int &ran)
+{
+    ran = 1;
+    co_return;
+}
+
+Process
+parentOfImmediate(EventQueue &q, int &ran, Tick &when)
+{
+    co_await immediate(ran);
+    when = q.now();
+    co_await DelayAwaitable(q, 1);
+}
+
+} // namespace
+
+TEST(Process, StartsSuspendedAndRunsOnStart)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    Process p = delayTwice(q, ticks);
+    EXPECT_TRUE(p.valid());
+    EXPECT_FALSE(p.started());
+    EXPECT_TRUE(ticks.empty());
+    p.start();
+    EXPECT_TRUE(p.started());
+    EXPECT_EQ(ticks.size(), 1u);
+    EXPECT_FALSE(p.done());
+}
+
+TEST(Process, DelaysAdvanceThroughTheQueue)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    Process p = delayTwice(q, ticks);
+    p.start();
+    q.runUntil(1000);
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(ticks, (std::vector<Tick>{0, 10, 15}));
+}
+
+TEST(Process, OnDoneFiresAtCompletion)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    Process p = delayTwice(q, ticks);
+    Tick done_at = 0;
+    p.onDone([&] { done_at = q.now(); });
+    p.start();
+    q.runUntil(1000);
+    EXPECT_EQ(done_at, 15u);
+}
+
+TEST(Process, MoveTransfersOwnership)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    Process a = delayTwice(q, ticks);
+    Process b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.start();
+    q.runUntil(1000);
+    EXPECT_TRUE(b.done());
+}
+
+TEST(Process, DestructionOfUnstartedCoroutineIsSafe)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    {
+        Process p = delayTwice(q, ticks);
+    }
+    EXPECT_TRUE(ticks.empty());
+}
+
+TEST(Trigger, ResumesAllWaitersWhenFired)
+{
+    EventQueue q;
+    Trigger t(q);
+    std::vector<Tick> ticks;
+    Process a = waitTrigger(q, t, ticks);
+    Process b = waitTrigger(q, t, ticks);
+    a.start();
+    b.start();
+    q.runUntil(5);
+    EXPECT_TRUE(ticks.empty());
+    t.fire();
+    q.runUntil(10);
+    EXPECT_EQ(ticks.size(), 2u);
+    EXPECT_EQ(ticks[0], 5u); // resumed via events at the firing tick
+    EXPECT_TRUE(a.done() && b.done());
+}
+
+TEST(Trigger, AwaitingFiredTriggerDoesNotSuspend)
+{
+    EventQueue q;
+    Trigger t(q);
+    t.fire();
+    std::vector<Tick> ticks;
+    Process p = waitTrigger(q, t, ticks);
+    p.start();
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(ticks.size(), 1u);
+}
+
+TEST(Latch, CompletesWhenCountReachesZero)
+{
+    EventQueue q;
+    Latch latch(q, 3);
+    bool done = false;
+    auto waiter = [](Latch &l, bool &flag) -> Process {
+        co_await l.wait();
+        flag = true;
+    }(latch, done);
+    waiter.start();
+    latch.countDown();
+    latch.countDown();
+    q.runUntil(1);
+    EXPECT_FALSE(done);
+    latch.countDown();
+    q.runUntil(2);
+    EXPECT_TRUE(done);
+}
+
+TEST(Latch, ZeroCountIsImmediatelyReady)
+{
+    EventQueue q;
+    Latch latch(q, 0);
+    bool done = false;
+    auto waiter = [](Latch &l, bool &flag) -> Process {
+        co_await l.wait();
+        flag = true;
+    }(latch, done);
+    waiter.start();
+    EXPECT_TRUE(done);
+}
+
+TEST(ProcessNesting, AwaitingChildRunsItToCompletion)
+{
+    EventQueue q;
+    int state = 0;
+    Tick after_child = 0;
+    Process p = parent(q, state, after_child);
+    p.start();
+    q.runUntil(100);
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(state, 1);
+    EXPECT_EQ(after_child, 7u);
+}
+
+TEST(ProcessNesting, SynchronouslyCompletingChildDoesNotDeadlock)
+{
+    EventQueue q;
+    int ran = 0;
+    Tick when = 99;
+    Process p = parentOfImmediate(q, ran, when);
+    p.start();
+    q.runUntil(100);
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(when, 0u);
+}
+
+TEST(ProcessNesting, ForkJoinOverlapsChildWithParent)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    auto prog = [](EventQueue &queue,
+                   std::vector<Tick> &out) -> Process {
+        int ignored = 0;
+        Process background = child(queue, ignored); // 7-tick child
+        background.start();
+        co_await DelayAwaitable(queue, 3); // overlap
+        out.push_back(queue.now());
+        co_await std::move(background); // join
+        out.push_back(queue.now());
+    }(q, ticks);
+    prog.start();
+    q.runUntil(100);
+    EXPECT_TRUE(prog.done());
+    ASSERT_EQ(ticks.size(), 2u);
+    EXPECT_EQ(ticks[0], 3u);
+    EXPECT_EQ(ticks[1], 7u); // join completes when the child does
+}
+
+TEST(ProcessNesting, JoiningAlreadyFinishedChildContinuesInline)
+{
+    EventQueue q;
+    std::vector<Tick> ticks;
+    auto prog = [](EventQueue &queue,
+                   std::vector<Tick> &out) -> Process {
+        int ignored = 0;
+        Process background = child(queue, ignored);
+        background.start();
+        co_await DelayAwaitable(queue, 20); // child done at 7
+        co_await std::move(background);
+        out.push_back(queue.now());
+    }(q, ticks);
+    prog.start();
+    q.runUntil(100);
+    EXPECT_TRUE(prog.done());
+    ASSERT_EQ(ticks.size(), 1u);
+    EXPECT_EQ(ticks[0], 20u);
+}
+
+TEST(ProcessNesting, DeepChainCompletes)
+{
+    EventQueue q;
+    // Recursion depth guard: chain of nested awaits.
+    struct Chain
+    {
+        static Process
+        run(EventQueue &queue, int depth, int &leaf)
+        {
+            if (depth == 0) {
+                leaf = 1;
+                co_await DelayAwaitable(queue, 1);
+                co_return;
+            }
+            co_await run(queue, depth - 1, leaf);
+        }
+    };
+    int leaf = 0;
+    Process p = Chain::run(q, 50, leaf);
+    p.start();
+    q.runUntil(100);
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(leaf, 1);
+}

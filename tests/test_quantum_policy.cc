@@ -1,0 +1,235 @@
+/** Tests for the quantum policies — Algorithm 1 and its baselines. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/types.hh"
+#include "core/quantum_policy.hh"
+
+using namespace aqsim;
+using namespace aqsim::core;
+
+TEST(FixedPolicy, ConstantRegardlessOfTraffic)
+{
+    FixedQuantumPolicy p(microseconds(10));
+    EXPECT_EQ(p.initialQuantum(), microseconds(10));
+    EXPECT_EQ(p.next(0), microseconds(10));
+    EXPECT_EQ(p.next(1000), microseconds(10));
+}
+
+TEST(FixedPolicy, NameIncludesQuantum)
+{
+    FixedQuantumPolicy p(microseconds(100));
+    EXPECT_EQ(p.name(), "fixed 100us");
+}
+
+TEST(AdaptivePolicy, StartsAtMinimum)
+{
+    AdaptiveQuantumPolicy p({});
+    EXPECT_EQ(p.initialQuantum(), microseconds(1));
+}
+
+TEST(AdaptivePolicy, GrowsByIncOnSilence)
+{
+    AdaptiveQuantumPolicy::Params params;
+    params.inc = 1.05;
+    AdaptiveQuantumPolicy p(params);
+    const Tick q1 = p.next(0);
+    EXPECT_EQ(q1, static_cast<Tick>(std::llround(1000 * 1.05)));
+    const Tick q2 = p.next(0);
+    EXPECT_EQ(q2, static_cast<Tick>(std::llround(1000 * 1.05 * 1.05)));
+}
+
+TEST(AdaptivePolicy, CollapsesOnAnyTraffic)
+{
+    AdaptiveQuantumPolicy::Params params;
+    params.dec = 0.02;
+    AdaptiveQuantumPolicy p(params);
+    // Grow to max first.
+    Tick q = 0;
+    for (int i = 0; i < 1000; ++i)
+        q = p.next(0);
+    EXPECT_EQ(q, params.maxQuantum);
+    // A single packet collapses almost to minimum within 2 quanta:
+    // 1000us * 0.02 = 20us, * 0.02 = 0.4us -> clamped to 1us.
+    q = p.next(1);
+    EXPECT_EQ(q, microseconds(20));
+    q = p.next(5);
+    EXPECT_EQ(q, microseconds(1));
+}
+
+TEST(AdaptivePolicy, ClampsToMinAndMax)
+{
+    AdaptiveQuantumPolicy::Params params;
+    AdaptiveQuantumPolicy p(params);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_GE(p.next(100), params.minQuantum);
+    for (int i = 0; i < 100000; ++i) {
+        const Tick q = p.next(0);
+        EXPECT_LE(q, params.maxQuantum);
+    }
+}
+
+TEST(AdaptivePolicy, ResetRestartsAtMinimum)
+{
+    AdaptiveQuantumPolicy p({});
+    for (int i = 0; i < 50; ++i)
+        p.next(0);
+    p.reset();
+    EXPECT_EQ(p.next(0),
+              static_cast<Tick>(std::llround(1000 * 1.03)));
+}
+
+TEST(AdaptivePolicy, GrowthIsGradualDecreaseIsAbrupt)
+{
+    // The paper's "speed bumps": quantum must fall from max to min in
+    // at most ~3 quanta but need many quanta to grow back.
+    AdaptiveQuantumPolicy::Params params; // inc 1.03, dec 0.02
+    AdaptiveQuantumPolicy p(params);
+    for (int i = 0; i < 100000; ++i)
+        p.next(0);
+    int down = 0;
+    Tick q = params.maxQuantum;
+    while (q > params.minQuantum) {
+        q = p.next(1);
+        ++down;
+    }
+    EXPECT_LE(down, 3);
+
+    int up = 0;
+    while (q < params.maxQuantum) {
+        q = p.next(0);
+        ++up;
+    }
+    EXPECT_GT(up, 100);
+}
+
+TEST(AdaptivePolicy, CloneIsIndependent)
+{
+    AdaptiveQuantumPolicy p({});
+    p.next(0);
+    p.next(0);
+    auto clone = p.clone();
+    clone->reset();
+    // Advancing the clone must not affect the original.
+    clone->next(0);
+    const Tick q_orig = p.next(0);
+    AdaptiveQuantumPolicy fresh({});
+    fresh.next(0);
+    fresh.next(0);
+    EXPECT_EQ(q_orig, fresh.next(0));
+}
+
+TEST(AdaptivePolicyDeath, RejectsBadParameters)
+{
+    AdaptiveQuantumPolicy::Params bad;
+    bad.inc = 0.99;
+    EXPECT_EXIT(AdaptiveQuantumPolicy{bad},
+                ::testing::ExitedWithCode(1), "increase factor");
+    AdaptiveQuantumPolicy::Params bad2;
+    bad2.dec = 1.5;
+    EXPECT_EXIT(AdaptiveQuantumPolicy{bad2},
+                ::testing::ExitedWithCode(1), "decrease factor");
+    AdaptiveQuantumPolicy::Params bad3;
+    bad3.minQuantum = microseconds(10);
+    bad3.maxQuantum = microseconds(1);
+    EXPECT_EXIT(AdaptiveQuantumPolicy{bad3},
+                ::testing::ExitedWithCode(1), "min_Q");
+}
+
+TEST(ThresholdPolicy, HoldsBelowThreshold)
+{
+    ThresholdAdaptivePolicy::Params params;
+    params.packetThreshold = 4;
+    ThresholdAdaptivePolicy p(params);
+    for (int i = 0; i < 100; ++i)
+        p.next(0); // grow
+    const Tick grown = p.next(0);
+    // Sparse traffic at/below the threshold holds the quantum.
+    const Tick held = p.next(4);
+    EXPECT_EQ(held, grown);
+    // Above the threshold it collapses.
+    const Tick dropped = p.next(5);
+    EXPECT_LT(dropped, held);
+}
+
+TEST(SymmetricPolicy, DecreasesSlowly)
+{
+    AdaptiveQuantumPolicy::Params params;
+    params.inc = 1.05;
+    SymmetricAdaptivePolicy p(params);
+    for (int i = 0; i < 100000; ++i)
+        p.next(0);
+    int down = 0;
+    Tick q = params.maxQuantum;
+    while (q > params.minQuantum && down < 100000) {
+        q = p.next(10);
+        ++down;
+    }
+    // ln(1000)/ln(1.05) ~ 142 quanta: far slower than Algorithm 1.
+    EXPECT_GT(down, 100);
+}
+
+TEST(ParseTicks, AcceptsSuffixes)
+{
+    EXPECT_EQ(parseTicks("250ns"), 250u);
+    EXPECT_EQ(parseTicks("1us"), 1000u);
+    EXPECT_EQ(parseTicks("100us"), 100000u);
+    EXPECT_EQ(parseTicks("2ms"), 2000000u);
+    EXPECT_EQ(parseTicks("1s"), 1000000000u);
+    EXPECT_EQ(parseTicks("42"), 42u);
+    EXPECT_EQ(parseTicks("1.5us"), 1500u);
+}
+
+TEST(FormatTicks, RendersCompactly)
+{
+    EXPECT_EQ(formatTicks(750), "750ns");
+    EXPECT_EQ(formatTicks(1000), "1us");
+    EXPECT_EQ(formatTicks(100000), "100us");
+    EXPECT_EQ(formatTicks(2000000), "2ms");
+    EXPECT_EQ(formatTicks(1500), "1500ns");
+}
+
+TEST(ParsePolicy, FixedSpec)
+{
+    auto p = parsePolicy("fixed:100us");
+    EXPECT_EQ(p->initialQuantum(), microseconds(100));
+    EXPECT_EQ(p->name(), "fixed 100us");
+}
+
+TEST(ParsePolicy, DynSpecWithDefaults)
+{
+    auto p = parsePolicy("dyn:1.03:0.02");
+    auto *dyn = dynamic_cast<AdaptiveQuantumPolicy *>(p.get());
+    ASSERT_NE(dyn, nullptr);
+    EXPECT_DOUBLE_EQ(dyn->params().inc, 1.03);
+    EXPECT_DOUBLE_EQ(dyn->params().dec, 0.02);
+    EXPECT_EQ(dyn->params().minQuantum, microseconds(1));
+    EXPECT_EQ(dyn->params().maxQuantum, microseconds(1000));
+}
+
+TEST(ParsePolicy, DynSpecWithRange)
+{
+    auto p = parsePolicy("dyn:1.05:0.05:2us:500us");
+    auto *dyn = dynamic_cast<AdaptiveQuantumPolicy *>(p.get());
+    ASSERT_NE(dyn, nullptr);
+    EXPECT_EQ(dyn->params().minQuantum, microseconds(2));
+    EXPECT_EQ(dyn->params().maxQuantum, microseconds(500));
+}
+
+TEST(ParsePolicy, ThresholdAndSymmetric)
+{
+    EXPECT_NE(dynamic_cast<ThresholdAdaptivePolicy *>(
+                  parsePolicy("threshold:1.03:0.02:8").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<SymmetricAdaptivePolicy *>(
+                  parsePolicy("symmetric:1.03").get()),
+              nullptr);
+}
+
+TEST(ParsePolicyDeath, RejectsUnknownKind)
+{
+    EXPECT_EXIT(parsePolicy("magic:1"), ::testing::ExitedWithCode(1),
+                "unknown policy");
+}

@@ -1,0 +1,155 @@
+/** Tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+
+using aqsim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundedAndCoversRange)
+{
+    Rng r(11);
+    bool seen[10] = {};
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniformInt(std::uint64_t{10});
+        ASSERT_LT(v, 10u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniformInt(std::int64_t{-5}, std::int64_t{5});
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMeanMatchesRequestedMean)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.lognormalMean(2.5, 0.3);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, LognormalAlwaysPositive)
+{
+    Rng r(21);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(r.lognormalMean(1.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequencyMatches)
+{
+    Rng r(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentDraws)
+{
+    // fork(label) then drawing from the parent must not change the
+    // child's stream given the same parent state.
+    Rng parent1(31);
+    Rng child1 = parent1.fork(5);
+    Rng parent2(31);
+    Rng child2 = parent2.fork(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, ForksWithDifferentLabelsDiffer)
+{
+    Rng parent(33);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,76 @@
+/** Shared helpers for aqsim tests. */
+
+#ifndef AQSIM_TESTS_TEST_UTIL_HH
+#define AQSIM_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <string>
+
+#include "core/quantum_policy.hh"
+#include "engine/cluster.hh"
+#include "engine/sequential_engine.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace aqsim::test
+{
+
+/** Workload whose per-rank program is a caller-provided lambda. */
+class LambdaWorkload : public workloads::Workload
+{
+  public:
+    using ProgramFn =
+        std::function<sim::Process(workloads::AppContext &)>;
+
+    explicit LambdaWorkload(ProgramFn fn, std::string name = "lambda")
+        : fn_(std::move(fn)), name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    MetricKind
+    metricKind() const override
+    {
+        return MetricKind::WallClockSeconds;
+    }
+
+    sim::Process
+    program(workloads::AppContext &ctx) override
+    {
+        return fn_(ctx);
+    }
+
+  private:
+    ProgramFn fn_;
+    std::string name_;
+};
+
+/** Noise-free engine options for exactly reproducible host times. */
+inline engine::EngineOptions
+quietEngine()
+{
+    engine::EngineOptions options;
+    options.host.noiseSigma = 0.0;
+    return options;
+}
+
+/**
+ * Run @p fn as every rank's program on an n-node cluster under the
+ * given policy spec, on the SequentialEngine.
+ */
+inline engine::RunResult
+runLambda(std::size_t num_nodes, LambdaWorkload::ProgramFn fn,
+          const std::string &policy_spec = "fixed:1us",
+          engine::EngineOptions options = {},
+          std::uint64_t seed = 1)
+{
+    LambdaWorkload workload(std::move(fn));
+    auto policy = core::parsePolicy(policy_spec);
+    auto params = harness::defaultCluster(num_nodes, seed);
+    engine::SequentialEngine engine(options);
+    return engine.run(params, workload, *policy);
+}
+
+} // namespace aqsim::test
+
+#endif // AQSIM_TESTS_TEST_UTIL_HH

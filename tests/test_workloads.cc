@@ -1,0 +1,206 @@
+/** Tests for the workload skeletons and the workload framework. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "test_util.hh"
+#include "workloads/namd.hh"
+#include "workloads/nas_common.hh"
+#include "workloads/nas_ep.hh"
+#include "workloads/nas_is.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+using namespace aqsim;
+using namespace aqsim::workloads;
+
+namespace
+{
+
+engine::RunResult
+runWorkload(const std::string &name, std::size_t nodes,
+            double scale = 0.1)
+{
+    harness::ExperimentConfig config;
+    config.workload = name;
+    config.numNodes = nodes;
+    config.scale = scale;
+    config.policySpec = "fixed:1us";
+    return harness::runExperiment(config).result;
+}
+
+class AllWorkloads
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t>>
+{};
+
+} // namespace
+
+TEST_P(AllWorkloads, RunsToCompletionUnderGroundTruth)
+{
+    const auto &[name, nodes] = GetParam();
+    auto result = runWorkload(name, nodes);
+    EXPECT_GT(result.simTicks, 0u);
+    EXPECT_GT(result.hostNs, 0.0);
+    EXPECT_EQ(result.numNodes, nodes);
+    EXPECT_EQ(result.workload, name);
+    // Conservative 1 us quantum: never any straggler.
+    EXPECT_EQ(result.stragglers, 0u);
+    // All ranks finish.
+    for (Tick t : result.finishTicks)
+        EXPECT_GT(t, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllWorkloads,
+    ::testing::Combine(::testing::Values("nas.ep", "nas.is", "nas.cg",
+                                         "nas.mg", "nas.lu", "namd",
+                                         "pingpong", "burst", "random"),
+                       ::testing::Values(std::size_t{2},
+                                         std::size_t{4},
+                                         std::size_t{8})),
+    [](const auto &info) {
+        auto name = std::get<0>(info.param);
+        for (auto &c : name)
+            if (c == '.')
+                c = '_';
+        return name + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WorkloadFactory, KnowsAllNames)
+{
+    for (const auto &name : workloadNames())
+        EXPECT_NE(makeWorkload(name, 2, 1.0), nullptr) << name;
+}
+
+TEST(WorkloadFactory, RejectsUnknownName)
+{
+    EXPECT_EXIT(makeWorkload("nas.zz", 2, 1.0),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadFactory, NasListMatchesPaperSelection)
+{
+    const auto names = nasWorkloadNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "nas.ep");
+    EXPECT_EQ(names[1], "nas.is");
+}
+
+TEST(WorkloadMetrics, RateWorkloadsReportMops)
+{
+    NasEp ep(4, 1.0);
+    EXPECT_EQ(ep.metricKind(), Workload::MetricKind::RateMops);
+    const double mops = ep.metricValue(milliseconds(100));
+    EXPECT_NEAR(mops, ep.totalOps() / 0.1 / 1e6, 1.0);
+}
+
+TEST(WorkloadMetrics, NamdReportsWallClock)
+{
+    Namd namd(4, 1.0);
+    EXPECT_EQ(namd.metricKind(),
+              Workload::MetricKind::WallClockSeconds);
+    EXPECT_DOUBLE_EQ(namd.metricValue(seconds(2)), 2.0);
+}
+
+TEST(WorkloadMetrics, FasterCompletionMeansHigherMops)
+{
+    NasIs is(4, 1.0);
+    EXPECT_GT(is.metricValue(milliseconds(10)),
+              is.metricValue(milliseconds(20)));
+}
+
+TEST(WorkloadShape, EpHasAlmostNoTraffic)
+{
+    auto ep = runWorkload("nas.ep", 4);
+    auto is = runWorkload("nas.is", 4);
+    // EP: only the three final reductions; IS: alltoalls everywhere.
+    EXPECT_LT(ep.packets * 20, is.packets);
+}
+
+TEST(WorkloadShape, NamdHasNoLongQuietIntervalEpDoes)
+{
+    // Paper Fig. 9: EP's chart shows long silent stretches; NAMD has
+    // "no visible interval where the application is not exchanging
+    // data". Compare the longest packet-free gap as a fraction of
+    // the run.
+    auto longest_gap_fraction = [](const std::string &name) {
+        harness::ExperimentConfig config;
+        config.workload = name;
+        config.numNodes = 4;
+        config.scale = 1.0;
+        config.policySpec = "fixed:1us";
+        config.recordTrace = true;
+        auto out = harness::runExperiment(config);
+        Tick last = 0, longest = 0;
+        for (const auto &rec : out.trace.records()) {
+            if (rec.time > last)
+                longest = std::max(longest, rec.time - last);
+            last = std::max(last, rec.time);
+        }
+        longest = std::max(longest, out.result.simTicks - last);
+        return static_cast<double>(longest) /
+               static_cast<double>(out.result.simTicks);
+    };
+    const double ep_gap = longest_gap_fraction("nas.ep");
+    const double namd_gap = longest_gap_fraction("namd");
+    EXPECT_GT(ep_gap, 0.5);    // one huge silent compute block
+    EXPECT_LT(namd_gap, 0.15); // traffic throughout
+    EXPECT_LT(namd_gap, ep_gap / 3.0);
+}
+
+TEST(WorkloadShape, PingPongMeasuresRoundtrip)
+{
+    PingPong::Params params;
+    params.rounds = 10;
+    params.bytes = 1000;
+    PingPong workload(2, 1.0, params);
+    auto policy = core::parsePolicy("fixed:1us");
+    auto cluster_params = harness::defaultCluster(2, 1);
+    engine::SequentialEngine engine;
+    engine.run(cluster_params, workload, *policy);
+    // Same physical roundtrip as computed in test_mpi_endpoint.
+    EXPECT_NEAR(workload.meanRoundtripTicks(), 2.0 * 2175.0, 20.0);
+}
+
+TEST(WorkloadShape, ScaleShrinksRuntime)
+{
+    auto small = runWorkload("nas.ep", 2, 0.05);
+    auto large = runWorkload("nas.ep", 2, 0.2);
+    EXPECT_LT(small.simTicks, large.simTicks);
+}
+
+TEST(NasCommon, Factor3ProducesNearCubicGrids)
+{
+    EXPECT_EQ(factor3(8), (std::array<std::size_t, 3>{2, 2, 2}));
+    EXPECT_EQ(factor3(64), (std::array<std::size_t, 3>{4, 4, 4}));
+    auto f12 = factor3(12);
+    EXPECT_EQ(f12[0] * f12[1] * f12[2], 12u);
+    EXPECT_EQ(factor3(1), (std::array<std::size_t, 3>{1, 1, 1}));
+    auto f7 = factor3(7);
+    EXPECT_EQ(f7[0] * f7[1] * f7[2], 7u);
+}
+
+TEST(NasCommon, Factor2ProducesNearSquareGrids)
+{
+    EXPECT_EQ(factor2(16), (std::array<std::size_t, 2>{4, 4}));
+    EXPECT_EQ(factor2(8), (std::array<std::size_t, 2>{4, 2}));
+    EXPECT_EQ(factor2(5), (std::array<std::size_t, 2>{5, 1}));
+}
+
+TEST(NasCommon, GridCoordsRoundTrip)
+{
+    const std::array<std::size_t, 3> dims{4, 3, 2};
+    for (std::size_t r = 0; r < 24; ++r)
+        EXPECT_EQ(gridRank(gridCoords(r, dims), dims), r);
+}
+
+TEST(NasCommon, GridNeighborRespectsBoundaries)
+{
+    const std::array<std::size_t, 3> dims{2, 2, 1};
+    EXPECT_EQ(gridNeighbor(0, dims, 0, +1), 1);
+    EXPECT_EQ(gridNeighbor(0, dims, 0, -1), -1);
+    EXPECT_EQ(gridNeighbor(0, dims, 1, +1), 2);
+    EXPECT_EQ(gridNeighbor(3, dims, 0, +1), -1);
+    EXPECT_EQ(gridNeighbor(3, dims, 1, -1), 1);
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * aqsim command-line driver: run any cluster-simulation experiment
+ * without writing code.
+ *
+ *   aqsim_cli --workload nas.is --nodes 8 --policy dyn:1.03:0.02 \
+ *             [--class A | --scale S] [--seed N]
+ *             [--engine sequential|threaded]
+ *             [--topology star|ring|mesh|torus|tree] [--hop-latency T]
+ *             [--sampling F] [--noise SIGMA]
+ *             [--baseline]             # also run the 1us ground truth
+ *             [--sweep spec1,spec2,...] # compare several policies
+ *             [--stats] [--stats-csv]  # dump the statistics tree
+ *             [--debug-flags Quantum,Mpi,...]  # trace to stderr
+ *             [--timeline FILE.csv]    # per-quantum records
+ *             [--trace FILE.csv]       # packet trace
+ *             [--quiet]
+ *
+ * Exit code 0 on success; fatal configuration errors exit 1.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "aqsim.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+engine::ClusterParams
+buildClusterParams(const Args &args, std::size_t nodes,
+                   std::uint64_t seed)
+{
+    auto params = harness::defaultCluster(nodes, seed);
+
+    const std::string topology = args.getString("topology", "star");
+    const Tick hop = core::parseTicks(
+        args.getString("hop-latency", "200ns"));
+    if (topology != "star" || args.has("hop-latency")) {
+        net::TopologyParams topo;
+        topo.kind = net::parseTopology(topology);
+        topo.hopLatency = hop;
+        params.network.switchModel =
+            std::make_shared<net::TopologySwitch>(nodes, topo);
+    }
+
+    const double sampling = args.getDouble("sampling", 1.0);
+    if (sampling < 1.0) {
+        params.samplingCpu = true;
+        params.sampling.detailFraction = sampling;
+    }
+    return params;
+}
+
+/** Run one (policy) configuration and return the result. */
+engine::RunResult
+runOne(const Args &args, workloads::Workload &workload,
+       const engine::ClusterParams &cluster_params,
+       const std::string &policy_spec, bool want_timeline,
+       engine::Cluster **cluster_out,
+       std::unique_ptr<engine::Cluster> &cluster_storage,
+       trace::PacketTrace *trace)
+{
+    auto policy = core::parsePolicy(policy_spec);
+    engine::EngineOptions options;
+    options.recordTimeline = want_timeline;
+    if (args.has("noise"))
+        options.host.noiseSigma = args.getDouble("noise", 0.25);
+
+    cluster_storage = std::make_unique<engine::Cluster>(cluster_params,
+                                                        workload);
+    if (cluster_out)
+        *cluster_out = cluster_storage.get();
+    if (trace)
+        trace->attach(cluster_storage->controller());
+
+    const std::string engine_kind =
+        args.getString("engine", "sequential");
+    if (engine_kind == "threaded") {
+        engine::ThreadedEngine engine(options);
+        return engine.run(*cluster_storage, *policy);
+    }
+    if (engine_kind != "sequential")
+        fatal("unknown engine '%s' (sequential|threaded)",
+              engine_kind.c_str());
+    engine::SequentialEngine engine(options);
+    return engine.run(*cluster_storage, *policy);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv,
+              {"workload", "nodes", "policy", "scale", "class", "seed",
+               "engine", "topology", "hop-latency", "sampling",
+               "noise", "baseline", "stats", "stats-csv", "timeline",
+               "trace", "quiet", "debug-flags", "sweep"});
+
+    debug::applyEnvironment();
+    if (args.has("debug-flags"))
+        debug::setFlags(args.getString("debug-flags", ""));
+
+    const std::string workload_name =
+        args.getString("workload", "nas.cg");
+    const auto nodes =
+        static_cast<std::size_t>(args.getInt("nodes", 8));
+    const std::string policy_spec =
+        args.getString("policy", "dyn:1.03:0.02:1us:1000us");
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    double scale = args.getDouble("scale", 1.0);
+    if (args.has("class"))
+        scale = workloads::scaleForClass(
+            args.getString("class", "A").at(0));
+    const bool quiet = args.getBool("quiet", false);
+    Logger::setVerbose(!quiet);
+
+    auto workload = workloads::makeWorkload(workload_name, nodes,
+                                            scale);
+    auto cluster_params = buildClusterParams(args, nodes, seed);
+
+    if (args.has("sweep")) {
+        // Comparative mode: run the ground truth plus every listed
+        // policy spec and print one table.
+        std::vector<std::string> specs{harness::groundTruthSpec};
+        const std::string csv = args.getString("sweep", "");
+        for (std::size_t start = 0; start <= csv.size();) {
+            auto end = csv.find(',', start);
+            if (end == std::string::npos)
+                end = csv.size();
+            if (end > start)
+                specs.push_back(csv.substr(start, end - start));
+            start = end + 1;
+        }
+        harness::Table table({"policy", "metric", "error", "speedup",
+                              "mean Q (us)", "stragglers"});
+        engine::RunResult gt;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            auto wl = workloads::makeWorkload(workload_name, nodes,
+                                              scale);
+            std::unique_ptr<engine::Cluster> c;
+            auto run = runOne(args, *wl, cluster_params, specs[i],
+                              false, nullptr, c, nullptr);
+            if (i == 0)
+                gt = run;
+            table.addRow(
+                {run.policy, harness::fmtDouble(run.metric, 4),
+                 harness::fmtPercent(engine::accuracyError(run, gt)),
+                 harness::fmtSpeedup(engine::speedup(run, gt)),
+                 harness::fmtDouble(run.meanQuantumTicks * 1e-3, 1),
+                 std::to_string(run.stragglers)});
+        }
+        std::printf("%s on %zu nodes (scale %.2f):\n\n",
+                    workload_name.c_str(), nodes, scale);
+        table.print(std::cout);
+        return 0;
+    }
+
+    const bool want_timeline = args.has("timeline");
+    trace::PacketTrace trace;
+    std::unique_ptr<engine::Cluster> cluster;
+    engine::Cluster *cluster_ptr = nullptr;
+    auto result =
+        runOne(args, *workload, cluster_params, policy_spec,
+               want_timeline, &cluster_ptr, cluster,
+               args.has("trace") ? &trace : nullptr);
+
+    if (!quiet)
+        std::printf("%s\n", result.summary().c_str());
+
+    if (args.getBool("baseline", false)) {
+        auto gt_workload = workloads::makeWorkload(workload_name,
+                                                   nodes, scale);
+        std::unique_ptr<engine::Cluster> gt_cluster;
+        auto gt = runOne(args, *gt_workload, cluster_params,
+                         harness::groundTruthSpec, false, nullptr,
+                         gt_cluster, nullptr);
+        std::printf("baseline       : %s\n", gt.summary().c_str());
+        std::printf("accuracy error : %.3f%%\n",
+                    100.0 * engine::accuracyError(result, gt));
+        std::printf("speedup        : %.2fx\n",
+                    engine::speedup(result, gt));
+        std::printf("sim-time ratio : %.3f\n",
+                    engine::simTimeRatio(result, gt));
+    }
+
+    if (args.getBool("stats", false))
+        stats::dumpText(cluster_ptr->statsRoot(), std::cout);
+    if (args.getBool("stats-csv", false))
+        stats::dumpCsv(cluster_ptr->statsRoot(), std::cout);
+
+    const std::string timeline_path = args.getString("timeline", "");
+    if (!timeline_path.empty()) {
+        std::ofstream file(timeline_path);
+        if (!file)
+            fatal("cannot open '%s'", timeline_path.c_str());
+        CsvWriter csv(file);
+        csv.header({"start", "length", "packets", "stragglers",
+                    "hostNs"});
+        for (const auto &q : result.timeline) {
+            csv.row()
+                .field(static_cast<std::uint64_t>(q.start))
+                .field(static_cast<std::uint64_t>(q.length))
+                .field(q.packets)
+                .field(q.stragglers)
+                .field(q.hostNs);
+        }
+        if (!quiet)
+            std::printf("timeline written to %s (%zu quanta)\n",
+                        timeline_path.c_str(),
+                        result.timeline.size());
+    }
+
+    const std::string trace_path = args.getString("trace", "");
+    if (!trace_path.empty()) {
+        std::ofstream file(trace_path);
+        if (!file)
+            fatal("cannot open '%s'", trace_path.c_str());
+        trace.dumpCsv(file);
+        if (!quiet)
+            std::printf("trace written to %s (%zu packets)\n",
+                        trace_path.c_str(), trace.size());
+    }
+    return 0;
+}
