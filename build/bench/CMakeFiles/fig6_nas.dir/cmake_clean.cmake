@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nas.dir/fig6_nas.cc.o"
+  "CMakeFiles/fig6_nas.dir/fig6_nas.cc.o.d"
+  "fig6_nas"
+  "fig6_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_namd.dir/fig7_namd.cc.o"
+  "CMakeFiles/fig7_namd.dir/fig7_namd.cc.o.d"
+  "fig7_namd"
+  "fig7_namd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_namd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

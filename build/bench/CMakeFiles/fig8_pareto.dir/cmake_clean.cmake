@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pareto.dir/fig8_pareto.cc.o"
+  "CMakeFiles/fig8_pareto.dir/fig8_pareto.cc.o.d"
+  "fig8_pareto"
+  "fig8_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scaleout.dir/fig9_scaleout.cc.o"
+  "CMakeFiles/fig9_scaleout.dir/fig9_scaleout.cc.o.d"
+  "fig9_scaleout"
+  "fig9_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

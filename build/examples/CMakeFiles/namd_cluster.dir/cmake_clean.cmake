@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namd_cluster.dir/namd_cluster.cpp.o"
+  "CMakeFiles/namd_cluster.dir/namd_cluster.cpp.o.d"
+  "namd_cluster"
+  "namd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

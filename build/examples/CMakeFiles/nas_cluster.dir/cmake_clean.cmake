@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_cluster.dir/nas_cluster.cpp.o"
+  "CMakeFiles/nas_cluster.dir/nas_cluster.cpp.o.d"
+  "nas_cluster"
+  "nas_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_viz.dir/traffic_viz.cpp.o"
+  "CMakeFiles/traffic_viz.dir/traffic_viz.cpp.o.d"
+  "traffic_viz"
+  "traffic_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

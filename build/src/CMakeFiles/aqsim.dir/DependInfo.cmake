@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/args.cc" "src/CMakeFiles/aqsim.dir/base/args.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/base/args.cc.o.d"
+  "/root/repo/src/base/csv.cc" "src/CMakeFiles/aqsim.dir/base/csv.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/base/csv.cc.o.d"
+  "/root/repo/src/base/debug.cc" "src/CMakeFiles/aqsim.dir/base/debug.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/base/debug.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/aqsim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/aqsim.dir/base/random.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/base/random.cc.o.d"
+  "/root/repo/src/core/quantum_policy.cc" "src/CMakeFiles/aqsim.dir/core/quantum_policy.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/core/quantum_policy.cc.o.d"
+  "/root/repo/src/core/sync_stats.cc" "src/CMakeFiles/aqsim.dir/core/sync_stats.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/core/sync_stats.cc.o.d"
+  "/root/repo/src/core/synchronizer.cc" "src/CMakeFiles/aqsim.dir/core/synchronizer.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/core/synchronizer.cc.o.d"
+  "/root/repo/src/engine/cluster.cc" "src/CMakeFiles/aqsim.dir/engine/cluster.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/engine/cluster.cc.o.d"
+  "/root/repo/src/engine/run_result.cc" "src/CMakeFiles/aqsim.dir/engine/run_result.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/engine/run_result.cc.o.d"
+  "/root/repo/src/engine/sequential_engine.cc" "src/CMakeFiles/aqsim.dir/engine/sequential_engine.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/engine/sequential_engine.cc.o.d"
+  "/root/repo/src/engine/threaded_engine.cc" "src/CMakeFiles/aqsim.dir/engine/threaded_engine.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/engine/threaded_engine.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/aqsim.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/pareto.cc" "src/CMakeFiles/aqsim.dir/harness/pareto.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/harness/pareto.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/aqsim.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/harness/report.cc.o.d"
+  "/root/repo/src/mpi/collectives.cc" "src/CMakeFiles/aqsim.dir/mpi/collectives.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/mpi/collectives.cc.o.d"
+  "/root/repo/src/mpi/communicator.cc" "src/CMakeFiles/aqsim.dir/mpi/communicator.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/mpi/communicator.cc.o.d"
+  "/root/repo/src/mpi/message.cc" "src/CMakeFiles/aqsim.dir/mpi/message.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/mpi/message.cc.o.d"
+  "/root/repo/src/net/network_controller.cc" "src/CMakeFiles/aqsim.dir/net/network_controller.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/net/network_controller.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/aqsim.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/switch_model.cc" "src/CMakeFiles/aqsim.dir/net/switch_model.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/net/switch_model.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/aqsim.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/net/topology.cc.o.d"
+  "/root/repo/src/node/cpu_model.cc" "src/CMakeFiles/aqsim.dir/node/cpu_model.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/node/cpu_model.cc.o.d"
+  "/root/repo/src/node/host_cost_model.cc" "src/CMakeFiles/aqsim.dir/node/host_cost_model.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/node/host_cost_model.cc.o.d"
+  "/root/repo/src/node/nic_model.cc" "src/CMakeFiles/aqsim.dir/node/nic_model.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/node/nic_model.cc.o.d"
+  "/root/repo/src/node/node_simulator.cc" "src/CMakeFiles/aqsim.dir/node/node_simulator.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/node/node_simulator.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/aqsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/CMakeFiles/aqsim.dir/sim/process.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/sim/process.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/aqsim.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/output.cc" "src/CMakeFiles/aqsim.dir/stats/output.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/stats/output.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/aqsim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/trace/ascii_plot.cc" "src/CMakeFiles/aqsim.dir/trace/ascii_plot.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/trace/ascii_plot.cc.o.d"
+  "/root/repo/src/trace/packet_trace.cc" "src/CMakeFiles/aqsim.dir/trace/packet_trace.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/trace/packet_trace.cc.o.d"
+  "/root/repo/src/trace/timeline.cc" "src/CMakeFiles/aqsim.dir/trace/timeline.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/trace/timeline.cc.o.d"
+  "/root/repo/src/workloads/namd.cc" "src/CMakeFiles/aqsim.dir/workloads/namd.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/namd.cc.o.d"
+  "/root/repo/src/workloads/nas_cg.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_cg.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_cg.cc.o.d"
+  "/root/repo/src/workloads/nas_common.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_common.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_common.cc.o.d"
+  "/root/repo/src/workloads/nas_ep.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_ep.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_ep.cc.o.d"
+  "/root/repo/src/workloads/nas_is.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_is.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_is.cc.o.d"
+  "/root/repo/src/workloads/nas_lu.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_lu.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_lu.cc.o.d"
+  "/root/repo/src/workloads/nas_mg.cc" "src/CMakeFiles/aqsim.dir/workloads/nas_mg.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/nas_mg.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/aqsim.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/aqsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/aqsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_args_csv.cc" "tests/CMakeFiles/aqsim_tests.dir/test_args_csv.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_args_csv.cc.o.d"
+  "/root/repo/tests/test_cpu_model.cc" "tests/CMakeFiles/aqsim_tests.dir/test_cpu_model.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_cpu_model.cc.o.d"
+  "/root/repo/tests/test_debug.cc" "tests/CMakeFiles/aqsim_tests.dir/test_debug.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_debug.cc.o.d"
+  "/root/repo/tests/test_engine_scaleout.cc" "tests/CMakeFiles/aqsim_tests.dir/test_engine_scaleout.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_engine_scaleout.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/aqsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/aqsim_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_host_cost_model.cc" "tests/CMakeFiles/aqsim_tests.dir/test_host_cost_model.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_host_cost_model.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/aqsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/aqsim_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_mpi_collectives.cc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_collectives.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_collectives.cc.o.d"
+  "/root/repo/tests/test_mpi_endpoint.cc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_endpoint.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_endpoint.cc.o.d"
+  "/root/repo/tests/test_mpi_flow_control.cc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_flow_control.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_flow_control.cc.o.d"
+  "/root/repo/tests/test_mpi_message.cc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_message.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_message.cc.o.d"
+  "/root/repo/tests/test_mpi_requests.cc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_requests.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_mpi_requests.cc.o.d"
+  "/root/repo/tests/test_network_controller.cc" "tests/CMakeFiles/aqsim_tests.dir/test_network_controller.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_network_controller.cc.o.d"
+  "/root/repo/tests/test_nic_model.cc" "tests/CMakeFiles/aqsim_tests.dir/test_nic_model.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_nic_model.cc.o.d"
+  "/root/repo/tests/test_packet_switch.cc" "tests/CMakeFiles/aqsim_tests.dir/test_packet_switch.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_packet_switch.cc.o.d"
+  "/root/repo/tests/test_process.cc" "tests/CMakeFiles/aqsim_tests.dir/test_process.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_process.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/aqsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_quantum_policy.cc" "tests/CMakeFiles/aqsim_tests.dir/test_quantum_policy.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_quantum_policy.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/aqsim_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_sequential_engine.cc" "tests/CMakeFiles/aqsim_tests.dir/test_sequential_engine.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_sequential_engine.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/aqsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_straggler_scenarios.cc" "tests/CMakeFiles/aqsim_tests.dir/test_straggler_scenarios.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_straggler_scenarios.cc.o.d"
+  "/root/repo/tests/test_synchronizer.cc" "tests/CMakeFiles/aqsim_tests.dir/test_synchronizer.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_synchronizer.cc.o.d"
+  "/root/repo/tests/test_threaded_engine.cc" "tests/CMakeFiles/aqsim_tests.dir/test_threaded_engine.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_threaded_engine.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/aqsim_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/aqsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/aqsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/aqsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqsim_cli.dir/aqsim_cli.cc.o"
+  "CMakeFiles/aqsim_cli.dir/aqsim_cli.cc.o.d"
+  "aqsim_cli"
+  "aqsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "/root/repo/build/tools/aqsim_cli" "--workload" "pingpong" "--nodes" "2" "--policy" "fixed:1us" "--scale" "0.2" "--quiet" "--baseline")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_adaptive_with_outputs "/root/repo/build/tools/aqsim_cli" "--workload" "burst" "--nodes" "4" "--policy" "dyn:1.05:0.02:1us:1000us" "--scale" "0.2" "--timeline" "/root/repo/build/tools/t.csv" "--trace" "/root/repo/build/tools/p.csv" "--stats")
+set_tests_properties(cli_adaptive_with_outputs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_topology_threaded "/root/repo/build/tools/aqsim_cli" "--workload" "random" "--nodes" "4" "--policy" "fixed:1us" "--scale" "0.1" "--topology" "torus" "--engine" "threaded" "--quiet")
+set_tests_properties(cli_topology_threaded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
