@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# The full correctness gauntlet: repo lint, a -Werror build, the
+# default test suite, and the whole suite again under ASan+UBSan and
+# TSan. Every box this script ticks is a precondition for trusting a
+# perf PR (see docs/static-analysis.md).
+#
+# Usage: scripts/check_all.sh [--quick]
+#   --quick   lint + werror build + default ctest only (no sanitizers)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_preset() {
+    local preset="$1"
+    echo "== preset: $preset =="
+    cmake --preset "$preset" -S "$repo_root"
+    cmake --build --preset "$preset" -j "$jobs"
+    ctest --preset "$preset" -j "$jobs"
+}
+
+echo "== lint =="
+python3 "$repo_root/tools/lint/lint.py" --root "$repo_root"
+
+if command -v clang-format > /dev/null 2>&1; then
+    echo "== clang-format (src/check) =="
+    clang-format --dry-run --Werror "$repo_root"/src/check/*.hh \
+        "$repo_root"/src/check/*.cc
+else
+    echo "== clang-format not found, skipping format check =="
+fi
+
+run_preset werror
+run_preset default
+
+if [[ "$quick" == 1 ]]; then
+    echo "check_all: quick mode done (sanitizer presets skipped)"
+    exit 0
+fi
+
+run_preset asan-ubsan
+run_preset tsan
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== clang-tidy (src) =="
+    cmake --preset default -S "$repo_root" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    mapfile -t tidy_files < <(ls "$repo_root"/src/*/*.cc)
+    clang-tidy -p "$repo_root/build" "${tidy_files[@]}"
+else
+    echo "== clang-tidy not found, skipping =="
+fi
+
+echo "check_all: all presets green"

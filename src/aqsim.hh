@@ -22,6 +22,9 @@
 #include "base/random.hh"
 #include "base/types.hh"
 
+// Runtime invariant checking
+#include "check/invariants.hh"
+
 // Simulation kernel
 #include "sim/event_queue.hh"
 #include "sim/process.hh"

@@ -35,6 +35,7 @@ Flag Straggler("Straggler", "straggler / next-quantum deliveries");
 Flag Packet("Packet", "every frame routed by the controller");
 Flag Mpi("Mpi", "message protocol events (RTS/CTS/ACK/match)");
 Flag Engine("Engine", "engine scheduling (host co-simulation)");
+Flag Check("Check", "runtime invariant-checker violations");
 
 void
 setFlags(const std::string &csv)

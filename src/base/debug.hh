@@ -52,6 +52,7 @@ extern Flag Straggler; ///< straggler / next-quantum deliveries
 extern Flag Packet;    ///< every frame routed by the controller
 extern Flag Mpi;       ///< message protocol events (RTS/CTS/ACK/match)
 extern Flag Engine;    ///< engine scheduling (host co-simulation)
+extern Flag Check;     ///< runtime invariant-checker violations
 
 /**
  * Enable a comma-separated list of flags ("Quantum,Straggler"), or

@@ -2,6 +2,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "check/invariants.hh"
 
 namespace aqsim::core
 {
@@ -22,6 +23,10 @@ Synchronizer::begin()
     start_ = 0;
     end_ = policy_.initialQuantum();
     AQSIM_ASSERT(end_ > start_);
+    check::InvariantChecker::instance().onRunBegin();
+    check::InvariantChecker::instance().onQuantumOpen(
+        start_, end_, conservative(),
+        controller_.minNetworkLatency());
     stragglerBase_ = controller_.totalStragglers();
     controller_.beginQuantum();
 }
@@ -40,6 +45,8 @@ Synchronizer::completeQuantum(HostNs host_ns)
     rec.stragglers = stragglers;
     rec.hostNs = host_ns;
     stats_.record(rec, recordTimeline_);
+    check::InvariantChecker::instance().onQuantumComplete(
+        start_, end_, stragglers);
 
     const Tick next_len = policy_.next(packets);
     AQSIM_ASSERT(next_len > 0);
@@ -54,6 +61,9 @@ Synchronizer::completeQuantum(HostNs host_ns)
                   static_cast<unsigned long long>(next_len));
     start_ = end_;
     end_ = start_ + next_len;
+    check::InvariantChecker::instance().onQuantumOpen(
+        start_, end_, conservative(),
+        controller_.minNetworkLatency());
     stragglerBase_ = controller_.totalStragglers();
     controller_.beginQuantum();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "check/invariants.hh"
 #include "core/synchronizer.hh"
 
 namespace aqsim::engine
@@ -22,6 +23,8 @@ struct ParkedDelivery
 {
     net::PacketPtr pkt;
     Tick when;
+    /** How the placement was accounted (for the invariant checker). */
+    net::DeliveryKind kind;
     /** Canonical merge key: (when, src, departTick) is a total order
      * because departTick strictly increases per source NIC. */
     bool
@@ -34,6 +37,21 @@ struct ParkedDelivery
         return pkt->departTick < o.pkt->departTick;
     }
 };
+
+/** Map the engine's DeliveryKind onto the checker's mirror enum. */
+check::DeliveryClass
+deliveryClass(net::DeliveryKind kind)
+{
+    switch (kind) {
+      case net::DeliveryKind::Straggler:
+        return check::DeliveryClass::Straggler;
+      case net::DeliveryKind::NextQuantum:
+        return check::DeliveryClass::NextQuantum;
+      case net::DeliveryKind::OnTime:
+        break;
+    }
+    return check::DeliveryClass::OnTime;
+}
 
 /** Per-node cross-thread state. */
 struct NodeShared
@@ -85,7 +103,7 @@ class ThreadedScheduler : public net::DeliveryScheduler
             }
             dst.urgent.store(true, std::memory_order_release);
         }
-        dst.mailbox.push_back(ParkedDelivery{pkt, actual});
+        dst.mailbox.push_back(ParkedDelivery{pkt, actual, kind});
         return actual;
     }
 
@@ -171,6 +189,10 @@ workerLoop(node::NodeSimulator &node, NodeShared &shared,
             batch.swap(shared.mailbox);
             shared.urgent.store(false, std::memory_order_release);
         }
+        // No invariant hook here: the receiver is live, so an on-time
+        // parked delivery may benignly trail queue.now() by the
+        // placement race the engine already clamps for. The race-free
+        // merge check happens in coordinatorDrain.
         for (auto &d : batch)
             node.nic().deliverAt(d.pkt,
                                  std::max(d.when, queue.now()));
@@ -237,9 +259,18 @@ coordinatorDrain(Cluster &cluster, std::vector<NodeShared> &shared)
         }
         std::sort(batch.begin(), batch.end());
         auto &node = cluster.node(id);
-        for (auto &d : batch)
+        auto &checker = check::InvariantChecker::instance();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const ParkedDelivery &d = batch[i];
+            // Strict order doubles as a key-uniqueness check: equal
+            // (when, src, departTick) keys would make the merge
+            // dependent on thread interleaving.
+            checker.onMailboxMerge(i == 0 || batch[i - 1] < d,
+                                   deliveryClass(d.kind), d.when,
+                                   node.queue().now());
             node.nic().deliverAt(
                 d.pkt, std::max(d.when, node.queue().now()));
+        }
     }
 }
 

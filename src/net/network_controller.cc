@@ -4,9 +4,30 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "check/invariants.hh"
 
 namespace aqsim::net
 {
+
+namespace
+{
+
+/** Map the controller's DeliveryKind onto the checker's mirror enum. */
+check::DeliveryClass
+deliveryClass(DeliveryKind kind)
+{
+    switch (kind) {
+      case DeliveryKind::Straggler:
+        return check::DeliveryClass::Straggler;
+      case DeliveryKind::NextQuantum:
+        return check::DeliveryClass::NextQuantum;
+      case DeliveryKind::OnTime:
+        break;
+    }
+    return check::DeliveryClass::OnTime;
+}
+
+} // namespace
 
 Tick
 NicParams::serialization(std::uint32_t bytes) const
@@ -103,6 +124,8 @@ NetworkController::routeOne(const PacketPtr &pkt)
 
     DeliveryKind kind = DeliveryKind::OnTime;
     const Tick actual = scheduler_->place(pkt, kind);
+    check::InvariantChecker::instance().onDelivery(
+        deliveryClass(kind), actual, pkt->idealArrival);
     AQSIM_ASSERT(actual >= pkt->idealArrival ||
                  kind == DeliveryKind::OnTime);
 

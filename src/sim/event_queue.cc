@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "check/invariants.hh"
 
 namespace aqsim::sim
 {
@@ -10,6 +11,7 @@ namespace aqsim::sim
 EventQueue::EventId
 EventQueue::schedule(Tick when, Callback cb, Priority prio)
 {
+    check::InvariantChecker::instance().onEventScheduled(when, now_);
     AQSIM_ASSERT(when >= now_);
     AQSIM_ASSERT(cb != nullptr);
     EventId id = nextId_++;
@@ -79,6 +81,7 @@ EventQueue::runOne()
     AQSIM_ASSERT(it != callbacks_.end());
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
+    check::InvariantChecker::instance().onTickAdvance(now_, item.when);
     AQSIM_ASSERT(item.when >= now_);
     now_ = item.when;
     ++numExecuted_;
@@ -102,6 +105,7 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::fastForwardTo(Tick when)
 {
+    check::InvariantChecker::instance().onTickAdvance(now_, when);
     AQSIM_ASSERT(when >= now_);
     AQSIM_ASSERT(nextTick() >= when);
     now_ = when;

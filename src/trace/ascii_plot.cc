@@ -43,7 +43,7 @@ renderTrafficMap(const std::vector<TraceRecord> &records,
 
     std::string out;
     for (std::size_t node = 0; node < num_nodes; ++node) {
-        char label[16];
+        char label[32];
         std::snprintf(label, sizeof(label), "%3zu |", node);
         out += label;
         for (std::size_t bin = 0; bin < width; ++bin) {

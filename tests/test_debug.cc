@@ -141,8 +141,9 @@ TEST(Debug, StragglerFlagFiresOnlyWhenLate)
         TraceCapture capture;
         debug::setFlags("Straggler");
         auto result = tracedPing("fixed:500us");
-        if (result.stragglers > result.nextQuantumDeliveries)
+        if (result.stragglers > result.nextQuantumDeliveries) {
             EXPECT_NE(capture.text().find("late: ideal="),
                       std::string::npos);
+        }
     }
 }

@@ -37,7 +37,9 @@ sweepCases()
     std::uint64_t seed = 100;
     for (const char *w : workloads)
         for (const char *p : policies)
-            cases.push_back(Sweep{w, (seed % 3) ? 4 : 3, p, seed++});
+            cases.push_back(Sweep{
+                w, (seed % 3) ? std::size_t{4} : std::size_t{3}, p,
+                seed++});
     return cases;
 }
 
@@ -71,8 +73,9 @@ TEST_P(PropertySweep, RunCompletesWithSaneAccounting)
     EXPECT_LE(r.stragglers, r.packets);
     EXPECT_LE(r.nextQuantumDeliveries, r.stragglers);
     // Lateness only with stragglers.
-    if (r.stragglers == 0)
+    if (r.stragglers == 0) {
         EXPECT_EQ(r.latenessTicks, 0u);
+    }
     // Every rank finished within the total sim time.
     for (Tick t : r.finishTicks)
         EXPECT_LE(t, r.simTicks);

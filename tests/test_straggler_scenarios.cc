@@ -193,8 +193,9 @@ TEST(StragglerScenarios, RoundtripErrorBoundedByQuantumScale)
     EXPECT_LE(e5, 2.0 * 5000.0);
     // And the coarse configuration is at least an order of magnitude
     // worse whenever it errs at all.
-    if (q500.result.stragglers > 0)
+    if (q500.result.stragglers > 0) {
         EXPECT_GT(e500, e5);
+    }
 }
 
 TEST(StragglerScenarios, DeferPolicySnapsEveryStraggler)

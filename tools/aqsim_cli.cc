@@ -11,12 +11,14 @@
  *             [--baseline]             # also run the 1us ground truth
  *             [--sweep spec1,spec2,...] # compare several policies
  *             [--stats] [--stats-csv]  # dump the statistics tree
+ *             [--check]                # runtime invariant checking
  *             [--debug-flags Quantum,Mpi,...]  # trace to stderr
  *             [--timeline FILE.csv]    # per-quantum records
  *             [--trace FILE.csv]       # packet trace
  *             [--quiet]
  *
- * Exit code 0 on success; fatal configuration errors exit 1.
+ * Exit code 0 on success; fatal configuration errors exit 1;
+ * --check exits 2 if any runtime invariant was violated.
  */
 
 #include <cstdio>
@@ -99,11 +101,19 @@ main(int argc, char **argv)
               {"workload", "nodes", "policy", "scale", "class", "seed",
                "engine", "topology", "hop-latency", "sampling",
                "noise", "baseline", "stats", "stats-csv", "timeline",
-               "trace", "quiet", "debug-flags", "sweep"});
+               "trace", "quiet", "debug-flags", "sweep", "check"});
 
     debug::applyEnvironment();
     if (args.has("debug-flags"))
         debug::setFlags(args.getString("debug-flags", ""));
+
+    auto &checker = check::InvariantChecker::instance();
+    checker.applyEnvironment();
+    const bool check_mode = args.getBool("check", false);
+    if (check_mode) {
+        checker.reset();
+        checker.setEnabled(true);
+    }
 
     const std::string workload_name =
         args.getString("workload", "nas.cg");
@@ -119,6 +129,16 @@ main(int argc, char **argv)
             args.getString("class", "A").at(0));
     const bool quiet = args.getBool("quiet", false);
     Logger::setVerbose(!quiet);
+
+    // Shared epilogue: in --check mode print the audit report and
+    // convert violations into a distinct exit code.
+    auto finish = [&checker, check_mode, quiet]() -> int {
+        if (!check_mode)
+            return 0;
+        if (!quiet || checker.totalViolations() > 0)
+            std::fputs(checker.report().c_str(), stderr);
+        return checker.totalViolations() > 0 ? 2 : 0;
+    };
 
     auto workload = workloads::makeWorkload(workload_name, nodes,
                                             scale);
@@ -158,7 +178,7 @@ main(int argc, char **argv)
         std::printf("%s on %zu nodes (scale %.2f):\n\n",
                     workload_name.c_str(), nodes, scale);
         table.print(std::cout);
-        return 0;
+        return finish();
     }
 
     const bool want_timeline = args.has("timeline");
@@ -226,5 +246,5 @@ main(int argc, char **argv)
             std::printf("trace written to %s (%zu packets)\n",
                         trace_path.c_str(), trace.size());
     }
-    return 0;
+    return finish();
 }

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""aqsim repository lint: header hygiene, determinism, naming.
+
+Checks (each file, line numbers reported):
+
+  guards     every .hh carries the canonical include guard
+             AQSIM_<RELPATH>_HH (src/ stripped), with a matching
+             #define and a trailing ``#endif // GUARD`` comment,
+             and never ``#pragma once``
+  determinism banned nondeterminism sources outside base/random:
+             rand()/srand(), time()/gettimeofday()/clock(),
+             std::random_device (a run must be a pure function of
+             its seed)
+  naming     snake_case file names, .hh/.cc extensions only,
+             no ``using namespace std``
+  hygiene    a foo.cc with a sibling foo.hh includes it first;
+             no trailing whitespace or tab indentation
+
+Usage: lint.py [--root DIR] [paths...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_DIRS = ["src", "tests", "bench", "tools", "examples"]
+SOURCE_EXTS = {".hh", ".cc", ".cpp"}
+
+# Nondeterminism sources; base/random is the only place allowed to
+# touch the underlying generators. std::chrono is deliberately not
+# banned: wall-clock timing of *host* execution is measurement, not
+# simulation input.
+BANNED = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+SNAKE_CASE = re.compile(r"^[a-z0-9_.]+$")
+
+
+def findings_for(path: Path, rel: str, text: str):
+    lines = text.splitlines()
+    out = []
+
+    def finding(lineno, rule, message):
+        out.append((rel, lineno, rule, message))
+
+    # --- naming ---
+    if not SNAKE_CASE.match(path.name):
+        finding(1, "naming", f"file name '{path.name}' is not snake_case")
+
+    is_header = path.suffix == ".hh"
+    in_base_random = rel.replace("\\", "/").startswith("src/base/random")
+
+    # --- guards ---
+    if is_header:
+        guard_rel = rel[len("src/"):] if rel.startswith("src/") else rel
+        guard = "AQSIM_" + re.sub(r"[^A-Za-z0-9]", "_", guard_rel).upper()
+        if f"#ifndef {guard}" not in text:
+            finding(1, "guards", f"missing include guard '{guard}'")
+        elif f"#define {guard}" not in text:
+            finding(1, "guards", f"#ifndef {guard} without matching #define")
+        else:
+            tail = [ln.strip() for ln in lines if ln.strip()][-1]
+            if tail != f"#endif // {guard}":
+                finding(len(lines), "guards",
+                        f"file must end with '#endif // {guard}'")
+        for i, line in enumerate(lines, 1):
+            if re.match(r"\s*#\s*pragma\s+once", line):
+                finding(i, "guards", "#pragma once (use include guards)")
+
+    # --- hygiene: own header first ---
+    if path.suffix in (".cc", ".cpp") and path.with_suffix(".hh").exists():
+        own = None
+        if rel.startswith("src/"):
+            own = rel[len("src/"):].rsplit(".", 1)[0] + ".hh"
+        else:
+            own = path.name.rsplit(".", 1)[0] + ".hh"
+        includes = [ln for ln in lines if ln.lstrip().startswith("#include")]
+        if includes and f'"{own}"' not in includes[0]:
+            finding(lines.index(includes[0]) + 1, "hygiene",
+                    f"first include must be the file's own header "
+                    f'("{own}")')
+
+    in_block_comment = False
+    for i, line in enumerate(lines, 1):
+        # --- hygiene: whitespace ---
+        if line != line.rstrip():
+            finding(i, "hygiene", "trailing whitespace")
+        if line.startswith("\t"):
+            finding(i, "hygiene", "tab indentation")
+
+        # Strip comments/strings crudely before token checks so prose
+        # mentioning rand()/time() does not trip the determinism rule.
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        code = re.sub(r'"(\\.|[^"\\])*"', '""', code)
+        start = code.find("/*")
+        while start >= 0:
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+            start = code.find("/*")
+        code = code.split("//", 1)[0]
+
+        # --- naming: using namespace std ---
+        if re.search(r"\busing\s+namespace\s+std\b", code):
+            finding(i, "naming", "'using namespace std' is banned")
+
+        # --- determinism ---
+        if not in_base_random:
+            for pattern, what in BANNED:
+                if pattern.search(code):
+                    finding(i, "determinism",
+                            f"{what} is banned outside base/random "
+                            "(runs must be pure functions of the seed)")
+
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs to lint (default: "
+                             f"{' '.join(DEFAULT_DIRS)})")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    targets = args.paths or DEFAULT_DIRS
+    files = []
+    for target in targets:
+        p = (root / target) if not Path(target).is_absolute() \
+            else Path(target)
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*")
+                                if q.suffix in SOURCE_EXTS))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    all_findings = []
+    for path in files:
+        rel = str(path.relative_to(root)) if path.is_relative_to(root) \
+            else str(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            all_findings.append((rel, 1, "hygiene", "not valid UTF-8"))
+            continue
+        all_findings.extend(findings_for(path, rel, text))
+
+    for rel, lineno, rule, message in all_findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    print(f"lint: {len(files)} files, {len(all_findings)} findings",
+          file=sys.stderr)
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
