@@ -45,6 +45,34 @@ BM_EventQueueCancel(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueCancel);
 
+/**
+ * Timeout-style churn: schedule a window of events, cancel half, run
+ * the rest. Exercises O(1) generation-counted cancellation plus the
+ * lazy stale-entry pruning in the heap — the NIC/MPI timeout pattern.
+ */
+void
+BM_EventQueueCancelChurn(benchmark::State &state)
+{
+    constexpr int window = 256;
+    sim::EventQueue q;
+    std::vector<sim::EventQueue::EventId> ids;
+    ids.reserve(window);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        ids.clear();
+        for (int i = 0; i < window; ++i)
+            ids.push_back(q.schedule(q.now() + 1 + (i * 31) % 97,
+                                     [&sink] { ++sink; }));
+        for (int i = 0; i < window; i += 2)
+            q.deschedule(ids[static_cast<std::size_t>(i)]);
+        while (q.runOne()) {}
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * window);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 sim::Process
 delayLoop(sim::EventQueue &q, std::size_t hops)
 {

@@ -10,6 +10,8 @@
 
 #include "core/quantum_policy.hh"
 #include "engine/sequential_engine.hh"
+#include "engine/threaded_engine.hh"
+#include "engine/worker_pool.hh"
 #include "harness/experiment.hh"
 #include "net/network_controller.hh"
 #include "workloads/workload.hh"
@@ -85,6 +87,52 @@ BENCHMARK(BM_ClusterQuantaThroughput)
     ->Arg(2)
     ->Arg(8)
     ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Raw quantum-gate round trip through the worker pool: release K
+ * workers, no work, wait for all arrivals. This is the per-quantum
+ * synchronization floor of the ThreadedEngine (the Fig. 5 cost on the
+ * host side), and the direct before/after number for the
+ * sense-reversing barrier rewrite.
+ */
+void
+BM_WorkerPoolQuantumGate(benchmark::State &state)
+{
+    const auto workers = static_cast<std::size_t>(state.range(0));
+    engine::WorkerPool pool(workers, [](std::size_t, Tick) {});
+    Tick qe = 0;
+    for (auto _ : state)
+        pool.runQuantum(++qe);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkerPoolQuantumGate)->Arg(1)->Arg(2)->Arg(4);
+
+/**
+ * End-to-end ThreadedEngine throughput: exercises the real gate,
+ * shard loop and mailbox swap-buffer path (unlike the sequential
+ * variant above, whose barrier cost is modeled, not executed).
+ */
+void
+BM_ThreadedClusterQuantaThroughput(benchmark::State &state)
+{
+    const auto nodes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto workload = workloads::makeWorkload("burst", nodes, 0.05);
+        auto policy = core::parsePolicy("fixed:10us");
+        auto params = harness::defaultCluster(nodes, 1);
+        engine::ThreadedEngine engine;
+        auto result = engine.run(params, *workload, *policy);
+        benchmark::DoNotOptimize(result.simTicks);
+        state.counters["quanta"] =
+            static_cast<double>(result.quanta);
+    }
+}
+BENCHMARK(BM_ThreadedClusterQuantaThroughput)
+    ->Arg(2)
+    ->Arg(8)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 

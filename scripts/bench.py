@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Run the aqsim performance suite and emit a tracked BENCH_<date>.json.
+
+Runs the google-benchmark microbenchmarks (micro_kernel, micro_sync)
+plus a small fig9-style scale-out set through aqsim_cli, and writes a
+single JSON snapshot suitable for committing next to the code it
+measured.
+
+Usage:
+    python3 scripts/bench.py [--build-dir build-rel] [--smoke] [--out F]
+
+--smoke shrinks workload scales and repetitions so the whole suite
+finishes in well under a minute (used by CI to keep the benchmarks
+compiling and runnable); full runs take a few minutes and produce the
+numbers worth tracking.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Benchmarks whose names match this regex are recorded from each
+# google-benchmark binary. Keep this focused on the hot paths the
+# kernel/engine work targets, so the JSON stays reviewable.
+KERNEL_FILTER = "BM_EventQueue|BM_CoroutineDelayChain"
+SYNC_FILTER = ("BM_WorkerPoolQuantumGate|BM_ThreadedClusterQuantaThroughput"
+               "|BM_ClusterQuantaThroughput")
+
+
+def run_google_benchmark(binary, bench_filter, min_time):
+    """Run one google-benchmark binary, return simplified records."""
+    cmd = [
+        str(binary),
+        f"--benchmark_filter={bench_filter}",
+        # Bare double (seconds): accepted by both old and new
+        # google-benchmark releases (the "0.05x" suffix form is not).
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True,
+                         text=True).stdout
+    data = json.loads(out)
+    records = []
+    for bench in data.get("benchmarks", []):
+        rec = {
+            "name": bench["name"],
+            "real_time": bench["real_time"],
+            "cpu_time": bench["cpu_time"],
+            "time_unit": bench["time_unit"],
+        }
+        if "items_per_second" in bench:
+            rec["items_per_second"] = bench["items_per_second"]
+        records.append(rec)
+    return records
+
+
+def time_cli(binary, args, reps):
+    """Wall-clock an aqsim_cli invocation; return the min of reps."""
+    cmd = [str(binary)] + args + ["--quiet"]
+    best = None
+    for _ in range(reps):
+        start = time.monotonic()
+        subprocess.run(cmd, check=True, capture_output=True)
+        elapsed = time.monotonic() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def scaleout_points(smoke):
+    """Fig9-style scale-out points: 64-node EP and NAMD runs."""
+    ep_scale = "1" if smoke else "16"
+    namd_scale = "0.25" if smoke else "4"
+    return [
+        ("fig9_ep_threaded",
+         ["--workload", "nas.ep", "--nodes", "64", "--engine",
+          "threaded", "--policy", "fixed:10us", "--scale", ep_scale]),
+        ("fig9_namd_threaded",
+         ["--workload", "namd", "--nodes", "64", "--engine",
+          "threaded", "--policy", "fixed:10us", "--scale",
+          namd_scale]),
+        ("fig9_ep_sequential",
+         ["--workload", "nas.ep", "--nodes", "64", "--engine",
+          "sequential", "--policy", "fixed:10us", "--scale",
+          ep_scale]),
+    ]
+
+
+def git_revision():
+    try:
+        return subprocess.run(
+            ["git", "-C", str(REPO), "rev-parse", "--short", "HEAD"],
+            check=True, capture_output=True, text=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-rel",
+                        help="CMake build tree with Release binaries")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scales/reps; CI keep-alive mode")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<date>.json)")
+    opts = parser.parse_args()
+
+    build = (REPO / opts.build_dir).resolve()
+    kernel = build / "bench" / "micro_kernel"
+    sync = build / "bench" / "micro_sync"
+    cli = build / "tools" / "aqsim_cli"
+    for binary in (kernel, sync, cli):
+        if not binary.exists():
+            sys.exit(f"bench.py: missing {binary}; build the "
+                     f"'{opts.build_dir}' tree first (Release)")
+
+    min_time = 0.02 if opts.smoke else 0.2
+    reps = 1 if opts.smoke else 3
+
+    print(f"[bench] micro_kernel (min_time={min_time}s)")
+    micro_kernel = run_google_benchmark(kernel, KERNEL_FILTER,
+                                        min_time)
+    print(f"[bench] micro_sync (min_time={min_time}s)")
+    micro_sync = run_google_benchmark(sync, SYNC_FILTER, min_time)
+
+    scaleout = []
+    for name, args in scaleout_points(opts.smoke):
+        print(f"[bench] {name} (reps={reps})")
+        seconds = time_cli(cli, args, reps)
+        scaleout.append({
+            "name": name,
+            "args": args,
+            "reps": reps,
+            "seconds_min": round(seconds, 4),
+        })
+
+    snapshot = {
+        "date": datetime.date.today().isoformat(),
+        "git": git_revision(),
+        "host": {
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "smoke": opts.smoke,
+            "build_dir": opts.build_dir,
+            "benchmark_min_time": min_time,
+        },
+        "micro_kernel": micro_kernel,
+        "micro_sync": micro_sync,
+        "scaleout": scaleout,
+    }
+
+    out_path = Path(opts.out) if opts.out else (
+        REPO / f"BENCH_{snapshot['date']}.json")
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

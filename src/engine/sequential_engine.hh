@@ -64,6 +64,13 @@ struct EngineOptions
     std::uint64_t maxQuanta = 0;
     /** Straggler handling (paper: DeliverNow). */
     StragglerPolicy stragglerPolicy = StragglerPolicy::DeliverNow;
+    /**
+     * ThreadedEngine worker threads (ignored by SequentialEngine).
+     * 0 = hardware concurrency; always clamped to the node count.
+     * Each worker runs a contiguous shard of ceil(N/K) nodes per
+     * quantum; conservative runs are bit-identical for any value.
+     */
+    std::size_t numWorkers = 0;
 };
 
 /** Deterministic host-time co-simulating engine. */

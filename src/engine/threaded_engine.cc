@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "base/logging.hh"
 #include "check/invariants.hh"
 #include "core/synchronizer.hh"
+#include "engine/worker_pool.hh"
 
 namespace aqsim::engine
 {
@@ -53,47 +52,43 @@ deliveryClass(net::DeliveryKind kind)
     return check::DeliveryClass::OnTime;
 }
 
-/** Per-node cross-thread state. */
-struct NodeShared
-{
-    std::mutex mailboxMutex;
-    std::vector<ParkedDelivery> mailbox;
-    bool atBarrier = true;
-    std::atomic<Tick> currentTick{0};
-    /** Set while the mailbox holds a delivery inside the open quantum. */
-    std::atomic<bool> urgent{false};
-};
-
 /**
- * Thread-safe placement: park the delivery in the destination mailbox;
- * the destination thread schedules it into its own event queue.
+ * Per-node cross-thread mailbox, swap-buffer style: producers park
+ * deliveries with one short lock acquisition; the consumer drains the
+ * whole batch with one lock acquisition into a reusable scratch
+ * buffer, so the steady state allocates nothing and never holds the
+ * lock while delivering.
+ *
+ * The owner-side handshake (open/close) shares the mutex with the
+ * producers: a placement that saw the node open has pushed before
+ * close() returns, and everything placed after close() is parked to
+ * the quantum boundary — the property the canonical coordinator merge
+ * depends on.
  */
-class ThreadedScheduler : public net::DeliveryScheduler
+class NodeMailbox
 {
   public:
-    ThreadedScheduler(std::vector<NodeShared> &shared,
-                      core::Synchronizer &sync)
-        : shared_(shared), sync_(sync)
-    {}
-
+    /**
+     * Producer (any worker): decide placement of @p pkt against the
+     * open quantum ending at @p qe and park it.
+     */
     Tick
-    place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
+    park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
+         net::DeliveryKind &kind)
     {
-        NodeShared &dst = shared_[pkt->dst];
-        const Tick ideal = pkt->idealArrival;
-        const Tick qe = sync_.quantumEnd();
-
-        std::lock_guard<std::mutex> lock(dst.mailboxMutex);
+        std::lock_guard<std::mutex> lock(mutex_);
         Tick actual;
         if (ideal >= qe) {
+            // Arrives in a later quantum: always safely schedulable.
             kind = net::DeliveryKind::OnTime;
             actual = ideal;
-        } else if (dst.atBarrier) {
+        } else if (atBarrier_) {
+            // Fig. 3d: receiver already closed its quantum slice.
             kind = net::DeliveryKind::NextQuantum;
             actual = qe;
         } else {
             const Tick rnow =
-                dst.currentTick.load(std::memory_order_acquire);
+                currentTick_.load(std::memory_order_acquire);
             if (ideal >= rnow) {
                 kind = net::DeliveryKind::OnTime;
                 actual = ideal;
@@ -101,142 +96,136 @@ class ThreadedScheduler : public net::DeliveryScheduler
                 kind = net::DeliveryKind::Straggler;
                 actual = std::min(rnow, qe);
             }
-            dst.urgent.store(true, std::memory_order_release);
+            urgent_.store(true, std::memory_order_release);
         }
-        dst.mailbox.push_back(ParkedDelivery{pkt, actual, kind});
+        incoming_.push_back(ParkedDelivery{pkt, actual, kind});
         return actual;
     }
 
-  private:
-    std::vector<NodeShared> &shared_;
-    core::Synchronizer &sync_;
-};
-
-/** Two-phase gate coordinating worker threads and the coordinator. */
-class QuantumGate
-{
-  public:
-    explicit QuantumGate(std::size_t workers) : workers_(workers) {}
-
-    /** Worker: announce barrier arrival for the current epoch. */
+    /** Owner: open the node's quantum slice. */
     void
-    arrive()
+    open()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ++arrived_;
-        if (arrived_ == workers_)
-            cv_.notify_all();
-    }
-
-    /** Coordinator: wait until every worker arrived. */
-    void
-    waitAllArrived()
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return arrived_ == workers_; });
-    }
-
-    /** Coordinator: open the next quantum (or stop the run). */
-    void
-    release(Tick quantum_end, bool stop)
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        arrived_ = 0;
-        quantumEnd_ = quantum_end;
-        stop_ = stop;
-        ++epoch_;
-        cv_.notify_all();
+        std::lock_guard<std::mutex> lock(mutex_);
+        atBarrier_ = false;
     }
 
     /**
-     * Worker: wait for the next quantum after @p seen_epoch.
-     * @return (quantum_end, stop)
+     * Owner: close the slice atomically w.r.t. producers.
+     * @return true if deliveries raced in before the close.
      */
-    std::pair<Tick, bool>
-    waitRelease(std::uint64_t &seen_epoch)
+    bool
+    close()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
-        seen_epoch = epoch_;
-        return {quantumEnd_, stop_};
+        std::lock_guard<std::mutex> lock(mutex_);
+        atBarrier_ = true;
+        return !incoming_.empty();
+    }
+
+    /**
+     * Swap the parked batch out under one lock acquisition. The
+     * returned buffer is reused on the next drain; worker (mid-
+     * quantum) and coordinator (at the barrier) drains never overlap,
+     * so the single scratch buffer is race-free by the gate protocol.
+     */
+    std::vector<ParkedDelivery> &
+    drain()
+    {
+        scratch_.clear();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            scratch_.swap(incoming_);
+            urgent_.store(false, std::memory_order_release);
+        }
+        return scratch_;
+    }
+
+    /** Set while the mailbox holds a delivery inside the open quantum. */
+    bool
+    urgent() const
+    {
+        return urgent_.load(std::memory_order_acquire);
+    }
+
+    /** Owner: publish the node's simulated position to producers. */
+    void
+    setCurrentTick(Tick t)
+    {
+        currentTick_.store(t, std::memory_order_release);
     }
 
   private:
     std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t workers_;
-    std::size_t arrived_ = 0;
-    std::uint64_t epoch_ = 0;
-    Tick quantumEnd_ = 0;
-    bool stop_ = false;
+    std::vector<ParkedDelivery> incoming_;
+    std::vector<ParkedDelivery> scratch_;
+    bool atBarrier_ = true;
+    std::atomic<Tick> currentTick_{0};
+    std::atomic<bool> urgent_{false};
 };
 
-/** Body of one node's worker thread. */
+/**
+ * Thread-safe placement: park the delivery in the destination mailbox;
+ * the owning worker (or the coordinator, at the barrier) schedules it
+ * into the destination's event queue.
+ */
+class ThreadedScheduler : public net::DeliveryScheduler
+{
+  public:
+    ThreadedScheduler(std::vector<NodeMailbox> &mailboxes,
+                      core::Synchronizer &sync)
+        : mailboxes_(mailboxes), sync_(sync)
+    {}
+
+    Tick
+    place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
+    {
+        return mailboxes_[pkt->dst].park(pkt, pkt->idealArrival,
+                                         sync_.quantumEnd(), kind);
+    }
+
+  private:
+    std::vector<NodeMailbox> &mailboxes_;
+    core::Synchronizer &sync_;
+};
+
+/** Run one node of a worker's shard up to the quantum boundary. */
 void
-workerLoop(node::NodeSimulator &node, NodeShared &shared,
-           QuantumGate &gate)
+runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
 {
     auto &queue = node.queue();
-    std::uint64_t epoch = 0;
 
     // Mid-quantum drain of deliveries placed *inside* the open
     // quantum (the urgent/straggler path). Cross-quantum deliveries
     // are merged canonically by the coordinator at the barrier.
-    auto drain = [&] {
-        std::vector<ParkedDelivery> batch;
-        {
-            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
-            batch.swap(shared.mailbox);
-            shared.urgent.store(false, std::memory_order_release);
-        }
-        // No invariant hook here: the receiver is live, so an on-time
-        // parked delivery may benignly trail queue.now() by the
-        // placement race the engine already clamps for. The race-free
-        // merge check happens in coordinatorDrain.
+    // No invariant hook here: the receiver is live, so an on-time
+    // parked delivery may benignly trail queue.now() by the placement
+    // race the engine already clamps for. The race-free merge check
+    // happens in coordinatorDrain.
+    auto deliver = [&](std::vector<ParkedDelivery> &batch) {
         for (auto &d : batch)
-            node.nic().deliverAt(d.pkt,
-                                 std::max(d.when, queue.now()));
+            node.nic().deliverAt(d.pkt, std::max(d.when, queue.now()));
     };
 
+    mbx.open();
     for (;;) {
-        auto [qe, stop] = gate.waitRelease(epoch);
-        if (stop)
-            return;
-
-        {
-            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
-            shared.atBarrier = false;
+        while (queue.nextTick() < qe) {
+            queue.runOne();
+            mbx.setCurrentTick(queue.now());
+            if (mbx.urgent())
+                deliver(mbx.drain());
         }
-
-        for (;;) {
-            while (queue.nextTick() < qe) {
-                queue.runOne();
-                shared.currentTick.store(queue.now(),
-                                         std::memory_order_release);
-                if (shared.urgent.load(std::memory_order_acquire))
-                    drain();
-            }
-            // Close the quantum atomically w.r.t. placers, then pick
-            // up anything that raced in under the old state.
-            bool more;
-            {
-                std::lock_guard<std::mutex> lock(shared.mailboxMutex);
-                shared.atBarrier = true;
-                more = !shared.mailbox.empty();
-            }
-            if (!more)
-                break;
-            drain();
-            if (queue.nextTick() >= qe)
-                break;
-            // A raced-in delivery landed inside the quantum: reopen.
-            std::lock_guard<std::mutex> lock(shared.mailboxMutex);
-            shared.atBarrier = false;
-        }
-        queue.fastForwardTo(qe);
-        shared.currentTick.store(qe, std::memory_order_release);
-        gate.arrive();
+        // Close the quantum atomically w.r.t. placers, then pick up
+        // anything that raced in under the open state.
+        if (!mbx.close())
+            break;
+        deliver(mbx.drain());
+        if (queue.nextTick() >= qe)
+            break;
+        // A raced-in delivery landed inside the quantum: reopen.
+        mbx.open();
     }
+    queue.fastForwardTo(qe);
+    mbx.setCurrentTick(qe);
 }
 
 /**
@@ -244,22 +233,19 @@ workerLoop(node::NodeSimulator &node, NodeShared &shared,
  * touching their queues is race-free. Cross-quantum deliveries are
  * merged in the canonical (tick, src, departTick) order, which makes
  * conservative runs bit-identical to the SequentialEngine regardless
- * of thread interleaving — and keeps parked packets visible to the
- * deadlock check.
+ * of thread interleaving or worker count — and keeps parked packets
+ * visible to the deadlock check.
  */
 void
-coordinatorDrain(Cluster &cluster, std::vector<NodeShared> &shared)
+coordinatorDrain(Cluster &cluster, std::vector<NodeMailbox> &mailboxes)
 {
+    auto &checker = check::InvariantChecker::instance();
     for (NodeId id = 0; id < cluster.numNodes(); ++id) {
-        std::vector<ParkedDelivery> batch;
-        {
-            std::lock_guard<std::mutex> lock(shared[id].mailboxMutex);
-            batch.swap(shared[id].mailbox);
-            shared[id].urgent.store(false, std::memory_order_release);
-        }
+        auto &batch = mailboxes[id].drain();
+        if (batch.empty())
+            continue;
         std::sort(batch.begin(), batch.end());
         auto &node = cluster.node(id);
-        auto &checker = check::InvariantChecker::instance();
         for (std::size_t i = 0; i < batch.size(); ++i) {
             const ParkedDelivery &d = batch[i];
             // Strict order doubles as a key-uniqueness check: equal
@@ -297,17 +283,20 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                             cluster.statsRoot(),
                             options_.recordTimeline);
 
-    std::vector<NodeShared> shared(n);
-    ThreadedScheduler scheduler(shared, sync);
+    std::vector<NodeMailbox> mailboxes(n);
+    ThreadedScheduler scheduler(mailboxes, sync);
     cluster.controller().setScheduler(&scheduler);
 
-    QuantumGate gate(n);
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (NodeId id = 0; id < n; ++id) {
-        threads.emplace_back(workerLoop, std::ref(cluster.node(id)),
-                             std::ref(shared[id]), std::ref(gate));
-    }
+    // Persistent pool: K workers each own a fixed contiguous shard of
+    // ceil(n/K) nodes for the whole run, so large clusters no longer
+    // oversubscribe the host with one thread per node.
+    const std::size_t workers =
+        WorkerPool::resolveWorkerCount(options_.numWorkers, n);
+    WorkerPool pool(workers, [&](std::size_t w, Tick qe) {
+        const auto [begin, end] = WorkerPool::shardRange(w, workers, n);
+        for (std::size_t id = begin; id < end; ++id)
+            runNodeQuantum(cluster.node(id), mailboxes[id], qe);
+    });
 
     const auto wall_start = std::chrono::steady_clock::now();
     sync.begin();
@@ -321,9 +310,8 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                   "applications incomplete\n%s",
                   cluster.progressReport().c_str());
         }
-        gate.release(sync.quantumEnd(), /*stop=*/false);
-        gate.waitAllArrived();
-        coordinatorDrain(cluster, shared);
+        pool.runQuantum(sync.quantumEnd());
+        coordinatorDrain(cluster, mailboxes);
         const auto now_wall = std::chrono::steady_clock::now();
         const HostNs quantum_ns =
             std::chrono::duration<double, std::nano>(
@@ -338,9 +326,6 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
             sync.quantumStart() > options_.maxSimTicks)
             fatal("simulated time budget exceeded");
     }
-    gate.release(0, /*stop=*/true);
-    for (auto &t : threads)
-        t.join();
 
     const HostNs host_ns = std::chrono::duration<double, std::nano>(
                                std::chrono::steady_clock::now() -
@@ -365,6 +350,8 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
     return result;
+    // `pool` is destroyed on return: a stop epoch is released and the
+    // workers join before `mailboxes`/`scheduler` go out of scope.
 }
 
 } // namespace aqsim::engine

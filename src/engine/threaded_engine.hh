@@ -1,16 +1,20 @@
 /**
  * @file
- * Real-parallel execution engine: one host thread per simulated node.
+ * Real-parallel execution engine: a persistent worker pool running
+ * contiguous node shards, synchronized by an atomic quantum barrier.
  *
  * This engine runs the same Cluster, Synchronizer and NetworkController
  * as the SequentialEngine, but with genuine std::thread parallelism and
  * a real barrier per quantum — the execution style of the paper's
- * actual system. Its host time is measured, not modeled, which makes
- * it nondeterministic when quanta exceed the network latency (exactly
- * like the paper's system). With conservative quanta (Q <= T) every
- * delivery crosses a quantum boundary and is merged in a canonical
- * order, so results are bit-identical to the SequentialEngine — the
- * property the cross-engine integration tests verify.
+ * actual system. EngineOptions::numWorkers workers (default: hardware
+ * concurrency, clamped to the node count) each execute ceil(N/K) nodes
+ * per quantum, so a 64-node cluster no longer oversubscribes the host
+ * with 64 threads. Host time is measured, not modeled, which makes the
+ * engine nondeterministic when quanta exceed the network latency
+ * (exactly like the paper's system). With conservative quanta (Q <= T)
+ * every delivery crosses a quantum boundary and is merged in a
+ * canonical order, so results are bit-identical to the SequentialEngine
+ * at every worker count — the property the cross-engine tests verify.
  */
 
 #ifndef AQSIM_ENGINE_THREADED_ENGINE_HH
@@ -24,7 +28,7 @@
 namespace aqsim::engine
 {
 
-/** One-thread-per-node parallel engine with measured wall-clock. */
+/** Sharded worker-pool parallel engine with measured wall-clock. */
 class ThreadedEngine
 {
   public:

@@ -1,0 +1,62 @@
+#include "engine/worker_pool.hh"
+
+#include <algorithm>
+
+namespace aqsim::engine
+{
+
+WorkerPool::WorkerPool(std::size_t workers, QuantumFn fn)
+    : gate_(workers), fn_(std::move(fn))
+{
+    threads_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads_.emplace_back(&WorkerPool::threadBody, this, w);
+}
+
+WorkerPool::~WorkerPool()
+{
+    // All workers are parked at the gate (every runQuantum waited for
+    // every arrival), so a stop release reaches each exactly once.
+    gate_.release(0, /*stop=*/true);
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::threadBody(std::size_t worker)
+{
+    std::uint64_t epoch = 0;
+    for (;;) {
+        const QuantumGate::Quantum q = gate_.waitRelease(epoch);
+        if (q.stop)
+            return;
+        fn_(worker, q.end);
+        gate_.arrive();
+    }
+}
+
+std::size_t
+WorkerPool::resolveWorkerCount(std::size_t requested,
+                               std::size_t num_tasks)
+{
+    std::size_t workers = requested;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers = std::min(workers, num_tasks);
+    return std::max<std::size_t>(workers, 1);
+}
+
+std::pair<std::size_t, std::size_t>
+WorkerPool::shardRange(std::size_t worker, std::size_t workers,
+                       std::size_t num_tasks)
+{
+    const std::size_t per = (num_tasks + workers - 1) / workers;
+    const std::size_t begin = std::min(worker * per, num_tasks);
+    const std::size_t end = std::min(begin + per, num_tasks);
+    return {begin, end};
+}
+
+} // namespace aqsim::engine

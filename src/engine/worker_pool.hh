@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Persistent quantum-synchronous worker pool for the ThreadedEngine.
+ *
+ * The paper's Fig. 5 observation — per-quantum synchronization
+ * overhead dominates parallel cluster simulation — applies to our own
+ * host execution too. Two design points follow from it:
+ *
+ *  - QuantumGate is a sense-reversing (epoch-counted) barrier built on
+ *    two atomics with a spin-then-yield wait. Opening and closing a
+ *    quantum costs two atomic RMWs per worker instead of four
+ *    mutex/condvar transitions, and an uncontended quantum never
+ *    enters the kernel.
+ *  - WorkerPool spawns a bounded number of threads once per run and
+ *    reuses them every quantum, so a 64-node cluster on an 8-core host
+ *    runs ceil(64/8) node shards per worker instead of oversubscribing
+ *    the machine with 64 threads (see docs/performance.md).
+ *
+ * Memory-ordering contract: everything the coordinator writes before
+ * release() is visible to workers after waitRelease() (release/acquire
+ * on the epoch), and everything a worker writes before arrive() is
+ * visible to the coordinator after waitAllArrived() (release/acquire
+ * on the arrival count). Engines rely on this to touch node state from
+ * the coordinator between quanta without extra locks.
+ */
+
+#ifndef AQSIM_ENGINE_WORKER_POOL_HH
+#define AQSIM_ENGINE_WORKER_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace aqsim::engine
+{
+
+/**
+ * Sense-reversing barrier coordinating one releasing thread (the
+ * coordinator) with a fixed set of workers, one epoch per quantum.
+ */
+class QuantumGate
+{
+  public:
+    explicit QuantumGate(std::size_t workers) : workers_(workers) {}
+
+    QuantumGate(const QuantumGate &) = delete;
+    QuantumGate &operator=(const QuantumGate &) = delete;
+
+    /** What a release publishes to every worker. */
+    struct Quantum
+    {
+        Tick end;
+        bool stop;
+    };
+
+    /** Coordinator: publish the next quantum window and wake workers. */
+    void
+    release(Tick quantum_end, bool stop)
+    {
+        quantumEnd_ = quantum_end;
+        stop_ = stop;
+        arrived_.store(0, std::memory_order_relaxed);
+        // The epoch bump is the release fence publishing the window
+        // (and all coordinator writes made at the barrier).
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+
+    /**
+     * Worker: wait for the epoch after @p seen_epoch and read the
+     * published window. The coordinator cannot run more than one epoch
+     * ahead (it waits for all arrivals first), so the epoch the
+     * predicate observes is always seen_epoch + 1.
+     */
+    Quantum
+    waitRelease(std::uint64_t &seen_epoch)
+    {
+        spinUntil([&] {
+            return epoch_.load(std::memory_order_acquire) != seen_epoch;
+        });
+        ++seen_epoch;
+        return Quantum{quantumEnd_, stop_};
+    }
+
+    /** Worker: announce this quantum's work is finished. */
+    void
+    arrive()
+    {
+        // Release: publishes this worker's queue/mailbox writes to the
+        // coordinator's acquire spin in waitAllArrived().
+        arrived_.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Coordinator: wait until every worker has arrived. */
+    void
+    waitAllArrived()
+    {
+        spinUntil([&] {
+            return arrived_.load(std::memory_order_acquire) ==
+                   workers_;
+        });
+    }
+
+  private:
+    static void
+    cpuRelax()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#endif
+    }
+
+    /**
+     * Spin briefly for the low-latency common case, then yield so an
+     * oversubscribed host (more workers than cores) makes progress
+     * instead of burning a timeslice.
+     */
+    template <typename Pred>
+    static void
+    spinUntil(Pred pred)
+    {
+        for (int i = 0; i < spinIterations; ++i) {
+            if (pred())
+                return;
+            cpuRelax();
+        }
+        while (!pred())
+            std::this_thread::yield();
+    }
+
+    static constexpr int spinIterations = 256;
+
+    alignas(64) std::atomic<std::uint64_t> epoch_{0};
+    alignas(64) std::atomic<std::size_t> arrived_{0};
+    /** Published by release(); read by workers after the epoch bump. */
+    Tick quantumEnd_ = 0;
+    bool stop_ = false;
+    const std::size_t workers_;
+};
+
+/**
+ * A persistent pool of worker threads driven one quantum at a time.
+ * Threads are spawned once and parked at the gate between quanta; the
+ * destructor releases a stop epoch and joins.
+ */
+class WorkerPool
+{
+  public:
+    /** Per-quantum work: (worker index, quantum end tick). */
+    using QuantumFn = std::function<void(std::size_t, Tick)>;
+
+    WorkerPool(std::size_t workers, QuantumFn fn);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Coordinator: run one quantum on every worker and wait. */
+    void
+    runQuantum(Tick quantum_end)
+    {
+        gate_.release(quantum_end, /*stop=*/false);
+        gate_.waitAllArrived();
+    }
+
+    std::size_t numWorkers() const { return threads_.size(); }
+
+    /**
+     * Resolve a requested worker count: 0 means the host's hardware
+     * concurrency; the result is clamped to [1, num_tasks] so no
+     * worker ever owns an empty shard.
+     */
+    static std::size_t resolveWorkerCount(std::size_t requested,
+                                          std::size_t num_tasks);
+
+    /**
+     * Contiguous shard [begin, end) of @p num_tasks owned by
+     * @p worker when split across @p workers (ceil division; the last
+     * shards may be one element shorter).
+     */
+    static std::pair<std::size_t, std::size_t>
+    shardRange(std::size_t worker, std::size_t workers,
+               std::size_t num_tasks);
+
+  private:
+    void threadBody(std::size_t worker);
+
+    QuantumGate gate_;
+    QuantumFn fn_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_WORKER_POOL_HH

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hh"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "base/logging.hh"
 #include "check/invariants.hh"
@@ -8,84 +8,164 @@
 namespace aqsim::sim
 {
 
-EventQueue::EventId
-EventQueue::schedule(Tick when, Callback cb, Priority prio)
+void
+EventQueue::scheduleChecks(Tick when)
 {
     check::InvariantChecker::instance().onEventScheduled(when, now_);
     AQSIM_ASSERT(when >= now_);
-    AQSIM_ASSERT(cb != nullptr);
-    EventId id = nextId_++;
-    heap_.push(Item{when, static_cast<int>(prio), nextSeq_++, id});
-    callbacks_.emplace(id, std::move(cb));
-    ++numScheduled_;
-    return id;
 }
 
-EventQueue::EventId
-EventQueue::scheduleIn(Tick delta, Callback cb, Priority prio)
+std::uint32_t
+EventQueue::allocSlot()
 {
-    return schedule(now_ + delta, std::move(cb), prio);
+    if (freeHead_ == noFreeSlot)
+        addChunk();
+    const std::uint32_t slot = freeHead_;
+    freeHead_ = recordAt(slot)->nextFree;
+    return slot;
+}
+
+void
+EventQueue::addChunk()
+{
+    const std::uint32_t base = capacity_;
+    chunks_.push_back(std::make_unique<Record[]>(chunkSize));
+    capacity_ += chunkSize;
+    // Thread the fresh records onto the free list low-slot-first.
+    for (std::uint32_t i = chunkSize; i-- > 0;) {
+        recordAt(base + i)->nextFree = freeHead_;
+        freeHead_ = base + i;
+    }
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Record &rec = *recordAt(slot);
+    // Invalidate every outstanding handle/heap entry; skip 0 on wrap
+    // so no live generation ever equals the invalidEvent encoding.
+    if (++rec.gen == 0)
+        rec.gen = 1;
+    recordAt(slot)->nextFree = freeHead_;
+    freeHead_ = slot;
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= capacity_)
         return false;
-    // Lazy cancellation: the heap entry stays and is skipped when it
-    // reaches the head.
-    callbacks_.erase(it);
+    Record &rec = *recordAt(slot);
+    if (rec.gen != gen || !rec.cb)
+        return false;
+    // Lazy cancellation: the heap entry stays and is dropped when it
+    // reaches the head (its generation no longer matches).
+    rec.cb.reset();
+    freeSlot(slot);
+    --numLive_;
     ++numCancelled_;
     return true;
 }
 
 void
-EventQueue::skipCancelled() const
+EventQueue::pushHeap(const HeapEntry &entry)
+{
+    // 4-ary sift-up with a hole (no swaps): parent of i is (i-1)/4.
+    heap_.push_back(entry);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!entry.before(heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = entry;
+}
+
+void
+EventQueue::popHeapTop() const
+{
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0)
+        return;
+    // 4-ary sift-down of the former tail: children of i start at 4i+1.
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (heap_[c].before(heap_[best]))
+                best = c;
+        }
+        if (!heap_[best].before(last))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = last;
+}
+
+void
+EventQueue::pruneStale() const
 {
     while (!heap_.empty() &&
-           callbacks_.find(heap_.top().id) == callbacks_.end()) {
-        heap_.pop();
+           recordAt(heap_.front().slot)->gen != heap_.front().gen) {
+        popHeapTop();
     }
 }
 
 bool
 EventQueue::empty() const
 {
-    skipCancelled();
+    pruneStale();
     return heap_.empty();
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    skipCancelled();
-    return heap_.empty() ? maxTick : heap_.top().when;
+    pruneStale();
+    return heap_.empty() ? maxTick : heap_.front().when;
 }
 
-std::size_t
-EventQueue::pendingCount() const
+void
+EventQueue::fireTop()
 {
-    return callbacks_.size();
+    const HeapEntry top = heap_.front();
+    popHeapTop();
+    Record &rec = *recordAt(top.slot);
+    check::InvariantChecker::instance().onTickAdvance(now_, top.when);
+    AQSIM_ASSERT(top.when >= now_);
+    now_ = top.when;
+    ++numExecuted_;
+    --numLive_;
+    // The handle dies before the callback runs (a self-deschedule must
+    // return false), but the slot is recycled only afterwards: the
+    // callback may schedule new events, and records never move, so
+    // invoking in place is safe.
+    if (++rec.gen == 0)
+        rec.gen = 1;
+    rec.cb();
+    rec.cb.reset();
+    recordAt(top.slot)->nextFree = freeHead_;
+    freeHead_ = top.slot;
 }
 
 bool
 EventQueue::runOne()
 {
-    skipCancelled();
+    pruneStale();
     if (heap_.empty())
         return false;
-    Item item = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(item.id);
-    AQSIM_ASSERT(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    check::InvariantChecker::instance().onTickAdvance(now_, item.when);
-    AQSIM_ASSERT(item.when >= now_);
-    now_ = item.when;
-    ++numExecuted_;
-    cb();
+    fireTop();
     return true;
 }
 
@@ -94,8 +174,13 @@ EventQueue::runUntil(Tick limit)
 {
     AQSIM_ASSERT(limit >= now_);
     std::size_t executed = 0;
-    while (nextTick() <= limit) {
-        runOne();
+    // One heap peek per event: pruneStale() leaves a live head, whose
+    // tick decides both "is there work" and "is it within the limit".
+    for (;;) {
+        pruneStale();
+        if (heap_.empty() || heap_.front().when > limit)
+            break;
+        fireTop();
         ++executed;
     }
     now_ = limit;

@@ -11,24 +11,34 @@
  * addition to runUntil: the SequentialEngine interleaves events from
  * many nodes in host-time order, so it must be able to advance a node
  * one event at a time and inspect the next pending tick.
+ *
+ * Internals are built for throughput (this is the hottest loop in the
+ * simulator — see docs/performance.md):
+ *
+ *  - event records live in a chunked slab with a free list, so
+ *    steady-state scheduling performs no allocations; callbacks are
+ *    stored in the record via SmallCallback (small-buffer optimized),
+ *  - EventId handles carry a slot index plus a generation counter, so
+ *    deschedule() is an O(1) slab probe instead of a map lookup,
+ *  - ordering uses a 4-ary min-heap of plain-old-data entries keyed on
+ *    the deterministic (tick, priority, seq) order; cancelled entries
+ *    are skipped lazily when they surface at the head.
  */
 
 #ifndef AQSIM_SIM_EVENT_QUEUE_HH
 #define AQSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/small_callback.hh"
 
 namespace aqsim::sim
 {
-
-/** Callback invoked when an event fires. */
-using Callback = std::function<void()>;
 
 /** Scheduling priorities for same-tick ordering (lower runs first). */
 enum class Priority : int
@@ -47,7 +57,11 @@ enum class Priority : int
 class EventQueue
 {
   public:
-    /** Opaque handle for cancelling a scheduled event. */
+    /**
+     * Opaque handle for cancelling a scheduled event: the record's
+     * slab slot in the high 32 bits, its generation in the low 32.
+     * Generations start at 1, so no live handle is ever 0.
+     */
     using EventId = std::uint64_t;
 
     /** Sentinel returned when no event is scheduled. */
@@ -58,22 +72,43 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /**
-     * Schedule a callback at an absolute tick.
+     * Schedule a callable at an absolute tick. The callable is
+     * constructed directly into a pooled event record; anything up to
+     * SmallCallback::inlineCapacity bytes avoids the heap entirely.
      *
      * @param when absolute tick, must be >= now()
-     * @param cb callback to run
+     * @param fn callable to run
      * @param prio same-tick ordering class
      * @return handle usable with deschedule()
      */
-    EventId schedule(Tick when, Callback cb,
-                     Priority prio = Priority::Default);
+    template <typename F>
+    EventId
+    schedule(Tick when, F &&fn, Priority prio = Priority::Default)
+    {
+        scheduleChecks(when);
+        const std::uint32_t slot = allocSlot();
+        Record &rec = *recordAt(slot);
+        rec.cb.emplace(std::forward<F>(fn));
+        pushHeap(HeapEntry{when, static_cast<std::int32_t>(prio),
+                           nextSeq_++, slot, rec.gen});
+        ++numScheduled_;
+        ++numLive_;
+        return (static_cast<EventId>(slot) << 32) | rec.gen;
+    }
 
-    /** Schedule a callback @p delta ticks after now(). */
-    EventId scheduleIn(Tick delta, Callback cb,
-                       Priority prio = Priority::Default);
+    /** Schedule a callable @p delta ticks after now(). */
+    template <typename F>
+    EventId
+    scheduleIn(Tick delta, F &&fn, Priority prio = Priority::Default)
+    {
+        return schedule(now_ + delta, std::forward<F>(fn), prio);
+    }
 
     /**
-     * Cancel a previously scheduled event.
+     * Cancel a previously scheduled event. O(1): bumps the record's
+     * generation (invalidating the handle and the heap entry, which is
+     * dropped lazily) and recycles the slot.
+     *
      * @return true if the event was pending and is now cancelled.
      */
     bool deschedule(EventId id);
@@ -115,38 +150,80 @@ class EventQueue
     std::uint64_t numCancelled() const { return numCancelled_; }
 
     /** @return number of live (non-cancelled) pending events. */
-    std::size_t pendingCount() const;
+    std::size_t pendingCount() const { return numLive_; }
 
   private:
-    struct Item
+    /** One pooled event record; records never move once allocated. */
+    struct Record
+    {
+        SmallCallback cb;
+        /**
+         * Bumped whenever the record is consumed (run or cancelled),
+         * so stale EventIds and heap entries are rejected by a single
+         * compare. Never 0; wrap-around aliasing would need 2^32
+         * reuses of one slot while a stale handle is still held.
+         */
+        std::uint32_t gen = 1;
+        /** Free-list link (slot index) while the record is free. */
+        std::uint32_t nextFree = 0;
+    };
+
+    /** Plain-old-data heap entry; the callback stays in the slab. */
+    struct HeapEntry
     {
         Tick when;
-        int priority;
+        std::int32_t prio;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
+        /** Deterministic total order: (when, prio, seq). */
         bool
-        operator>(const Item &other) const
+        before(const HeapEntry &o) const
         {
-            if (when != other.when)
-                return when > other.when;
-            if (priority != other.priority)
-                return priority > other.priority;
-            return seq > other.seq;
+            if (when != o.when)
+                return when < o.when;
+            if (prio != o.prio)
+                return prio < o.prio;
+            return seq < o.seq;
         }
     };
 
-    /** Drop cancelled items from the head of the heap. */
-    void skipCancelled() const;
+    static constexpr std::uint32_t chunkShift = 8;
+    /** Records per slab chunk; chunks are stable in memory. */
+    static constexpr std::uint32_t chunkSize = 1u << chunkShift;
+    static constexpr std::uint32_t noFreeSlot = 0xffffffffu;
 
-    mutable std::priority_queue<Item, std::vector<Item>,
-                                std::greater<Item>> heap_;
-    /** Callbacks by event id; erased on execution/cancellation. */
-    std::unordered_map<EventId, Callback> callbacks_;
+    Record *
+    recordAt(std::uint32_t slot) const
+    {
+        return &chunks_[slot >> chunkShift][slot & (chunkSize - 1)];
+    }
+
+    /** Invariant hook + past-scheduling assert (out of line). */
+    void scheduleChecks(Tick when);
+
+    std::uint32_t allocSlot();
+    void addChunk();
+    void freeSlot(std::uint32_t slot);
+
+    void pushHeap(const HeapEntry &entry);
+    /** Remove the head entry, restoring the 4-ary heap order. */
+    void popHeapTop() const;
+    /** Drop cancelled (stale-generation) entries from the head. */
+    void pruneStale() const;
+    /** Pop the (live) head entry and execute its callback. */
+    void fireTop();
+
+    /** Heap storage; mutable so const peeks can prune lazily. */
+    mutable std::vector<HeapEntry> heap_;
+    std::vector<std::unique_ptr<Record[]>> chunks_;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t freeHead_ = noFreeSlot;
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
+    std::size_t numLive_ = 0;
     std::uint64_t numScheduled_ = 0;
     std::uint64_t numExecuted_ = 0;
     std::uint64_t numCancelled_ = 0;

@@ -18,13 +18,13 @@
 #define AQSIM_SIM_PROCESS_HH
 
 #include <coroutine>
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/small_callback.hh"
 
 namespace aqsim::sim
 {
@@ -54,7 +54,7 @@ class Process
                 promise.done = true;
                 // Move the callback out first: it may resume a parent
                 // coroutine that destroys this frame (and with it the
-                // promise and the std::function being executed).
+                // promise and the callable being executed).
                 auto cb = std::move(promise.onDone);
                 if (cb)
                     cb();
@@ -70,7 +70,7 @@ class Process
         bool done = false;
         bool started = false;
         /** Invoked exactly once when the coroutine runs to completion. */
-        std::function<void()> onDone;
+        SmallCallback onDone;
     };
 
     Process() = default;
@@ -125,11 +125,12 @@ class Process
     bool valid() const { return static_cast<bool>(handle_); }
 
     /** Register a completion callback (must be set before completion). */
+    template <typename F>
     void
-    onDone(std::function<void()> cb)
+    onDone(F &&cb)
     {
         AQSIM_ASSERT(handle_);
-        handle_.promise().onDone = std::move(cb);
+        handle_.promise().onDone.emplace(std::forward<F>(cb));
     }
 
   private:

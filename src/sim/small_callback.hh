@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Move-only type-erased `void()` callable with small-buffer storage.
+ *
+ * The simulation hot path schedules millions of short-lived callbacks;
+ * std::function's conservative small-object threshold (16 bytes on
+ * common ABIs) pushes most capturing lambdas onto the heap and drags in
+ * exception plumbing the kernel never uses. SmallCallback stores any
+ * callable of up to inlineCapacity bytes directly in the object and
+ * only falls back to the heap beyond that, so the event kernel is
+ * allocation-free in steady state (see docs/performance.md).
+ */
+
+#ifndef AQSIM_SIM_SMALL_CALLBACK_HH
+#define AQSIM_SIM_SMALL_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aqsim::sim
+{
+
+/** Move-only type-erased `void()` callable with inline storage. */
+class SmallCallback
+{
+  public:
+    /**
+     * Bytes of inline storage: sized to hold every callback the
+     * kernel's own users create (a coroutine handle plus a few
+     * captured pointers) with room to spare. Larger callables are
+     * heap-allocated transparently.
+     */
+    static constexpr std::size_t inlineCapacity = 48;
+
+    SmallCallback() = default;
+
+    /** Wrap any callable (implicit, like std::function). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback>>>
+    SmallCallback(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    /** Construct a callable in place, replacing any current one. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            heap_ = new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    /** Destroy the held callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops_) {
+            const Ops *ops = std::exchange(ops_, nullptr);
+            ops->destroy(*this);
+        }
+    }
+
+    /** @return true if a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the held callable; must be non-empty. */
+    void
+    operator()()
+    {
+        ops_->invoke(*this);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(SmallCallback &);
+        /** Move the callable out of @p from into @p to's raw storage. */
+        void (*relocate)(SmallCallback &to, SmallCallback &from);
+        void (*destroy)(SmallCallback &);
+    };
+
+    /**
+     * Inline storage requires a nothrow move so relocation between
+     * buffers (the move constructor) can be noexcept.
+     */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineCapacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    Fn *
+    inlinePtr()
+    {
+        return std::launder(reinterpret_cast<Fn *>(buf_));
+    }
+
+    void
+    moveFrom(SmallCallback &other)
+    {
+        if (other.ops_) {
+            const Ops *ops = std::exchange(other.ops_, nullptr);
+            ops->relocate(*this, other);
+            ops_ = ops;
+        }
+    }
+
+    template <typename Fn>
+    static const Ops inlineOps;
+    template <typename Fn>
+    static const Ops heapOps;
+
+    const Ops *ops_ = nullptr;
+    void *heap_ = nullptr;
+    alignas(std::max_align_t) std::byte buf_[inlineCapacity];
+};
+
+template <typename Fn>
+const SmallCallback::Ops SmallCallback::inlineOps = {
+    [](SmallCallback &self) { (*self.inlinePtr<Fn>())(); },
+    [](SmallCallback &to, SmallCallback &from) {
+        ::new (static_cast<void *>(to.buf_))
+            Fn(std::move(*from.inlinePtr<Fn>()));
+        from.inlinePtr<Fn>()->~Fn();
+    },
+    [](SmallCallback &self) { self.inlinePtr<Fn>()->~Fn(); },
+};
+
+template <typename Fn>
+const SmallCallback::Ops SmallCallback::heapOps = {
+    [](SmallCallback &self) { (*static_cast<Fn *>(self.heap_))(); },
+    [](SmallCallback &to, SmallCallback &from) {
+        to.heap_ = std::exchange(from.heap_, nullptr);
+    },
+    [](SmallCallback &self) { delete static_cast<Fn *>(self.heap_); },
+};
+
+} // namespace aqsim::sim
+
+#endif // AQSIM_SIM_SMALL_CALLBACK_HH

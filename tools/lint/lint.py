@@ -15,6 +15,9 @@ Checks (each file, line numbers reported):
              no ``using namespace std``
   hygiene    a foo.cc with a sibling foo.hh includes it first;
              no trailing whitespace or tab indentation
+  hotpath    no std::function (or <functional> include) under
+             src/sim/ — the event kernel is allocation-free; use
+             sim::SmallCallback (docs/performance.md)
 
 Usage: lint.py [--root DIR] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -56,7 +59,9 @@ def findings_for(path: Path, rel: str, text: str):
         finding(1, "naming", f"file name '{path.name}' is not snake_case")
 
     is_header = path.suffix == ".hh"
-    in_base_random = rel.replace("\\", "/").startswith("src/base/random")
+    posix_rel = rel.replace("\\", "/")
+    in_base_random = posix_rel.startswith("src/base/random")
+    in_sim_kernel = posix_rel.startswith("src/sim/")
 
     # --- guards ---
     if is_header:
@@ -128,6 +133,19 @@ def findings_for(path: Path, rel: str, text: str):
                     finding(i, "determinism",
                             f"{what} is banned outside base/random "
                             "(runs must be pure functions of the seed)")
+
+        # --- hotpath: the event kernel must stay allocation-free ---
+        if in_sim_kernel:
+            if re.search(r"\bstd\s*::\s*function\b", code):
+                finding(i, "hotpath",
+                        "std::function is banned under src/sim/ "
+                        "(use sim::SmallCallback; "
+                        "see docs/performance.md)")
+            if re.search(r'#\s*include\s*<functional>', line):
+                finding(i, "hotpath",
+                        "<functional> is banned under src/sim/ "
+                        "(the event kernel must not type-erase "
+                        "through std::function)")
 
     return out
 
