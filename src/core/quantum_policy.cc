@@ -157,7 +157,18 @@ AdaptiveQuantumPolicy::clone() const
 
 ThresholdAdaptivePolicy::ThresholdAdaptivePolicy(Params params)
     : params_(params), q_(static_cast<double>(params.base.minQuantum))
-{}
+{
+    if (params_.base.minQuantum == 0 ||
+        params_.base.maxQuantum < params_.base.minQuantum)
+        fatal("threshold policy requires 0 < min_Q <= max_Q");
+    if (params_.base.inc <= 1.0)
+        fatal("threshold policy increase factor must be > 1 (got %g)",
+              params_.base.inc);
+    if (params_.base.dec <= 0.0 || params_.base.dec >= 1.0)
+        fatal("threshold policy decrease factor must be in (0,1) "
+              "(got %g)",
+              params_.base.dec);
+}
 
 Tick
 ThresholdAdaptivePolicy::next(std::uint64_t packets_last_quantum)
@@ -198,7 +209,14 @@ ThresholdAdaptivePolicy::clone() const
 SymmetricAdaptivePolicy::SymmetricAdaptivePolicy(
     AdaptiveQuantumPolicy::Params params)
     : params_(params), q_(static_cast<double>(params.minQuantum))
-{}
+{
+    if (params_.minQuantum == 0 ||
+        params_.maxQuantum < params_.minQuantum)
+        fatal("symmetric policy requires 0 < min_Q <= max_Q");
+    if (params_.inc <= 1.0)
+        fatal("symmetric policy factor must be > 1 (got %g)",
+              params_.inc);
+}
 
 Tick
 SymmetricAdaptivePolicy::next(std::uint64_t packets_last_quantum)

@@ -16,6 +16,17 @@ Cluster::Cluster(const ClusterParams &params,
     controller_ = std::make_unique<net::NetworkController>(
         params.numNodes, params.network, statsRoot_);
 
+    if (params.faults.anyEnabled()) {
+        // Fault randomness forks off the master seed (distinct label
+        // space from sampling CPUs and app contexts), so the injected
+        // fault sequence is a pure function of (seed, traffic).
+        Rng fault_master(params.seed);
+        faults_ = std::make_unique<fault::FaultInjector>(
+            params.numNodes, params.faults,
+            fault_master.fork(0xfa000001ULL), statsRoot_);
+        controller_->setFaultInjector(faults_.get());
+    }
+
     if (!params.cpuSpeedFactors.empty() &&
         params.cpuSpeedFactors.size() != params.numNodes)
         fatal("cpuSpeedFactors holds %zu entries for %zu nodes",
@@ -89,22 +100,47 @@ Cluster::anyEventPending() const
     return false;
 }
 
+std::uint64_t
+Cluster::totalRetransmits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ep : endpoints_)
+        total += ep->retransmits();
+    return total;
+}
+
 std::string
 Cluster::progressReport() const
 {
     std::string out;
     for (NodeId id = 0; id < nodes_.size(); ++id) {
-        char line[160];
+        char line[192];
         std::snprintf(
             line, sizeof(line),
             "  node%u: now=%llu done=%d pendingEvents=%zu "
-            "postedRecvs=%zu unexpected=%zu\n",
+            "postedRecvs=%zu unexpected=%zu unacked=%zu "
+            "retransmits=%llu\n",
             id,
             static_cast<unsigned long long>(nodes_[id]->queue().now()),
             nodes_[id]->appDone() ? 1 : 0,
             nodes_[id]->queue().pendingCount(),
             endpoints_[id]->postedRecvCount(),
-            endpoints_[id]->unexpectedCount());
+            endpoints_[id]->unexpectedCount(),
+            endpoints_[id]->retryBacklog(),
+            static_cast<unsigned long long>(
+                endpoints_[id]->retransmits()));
+        out += line;
+    }
+    if (faults_) {
+        char line[160];
+        std::snprintf(
+            line, sizeof(line),
+            "  faults: dropped=%llu duplicated=%llu corrupted=%llu "
+            "delayed=%llu\n",
+            static_cast<unsigned long long>(faults_->totalDropped()),
+            static_cast<unsigned long long>(faults_->totalDuplicated()),
+            static_cast<unsigned long long>(faults_->totalCorrupted()),
+            static_cast<unsigned long long>(faults_->totalDelayed()));
         out += line;
     }
     return out;

@@ -17,6 +17,7 @@
 
 #include "base/random.hh"
 #include "base/types.hh"
+#include "fault/fault_injector.hh"
 #include "mpi/communicator.hh"
 #include "net/network_controller.hh"
 #include "node/cpu_model.hh"
@@ -43,6 +44,12 @@ struct ClusterParams
     /** Use the sampling CPU model (the paper's future-work extension). */
     bool samplingCpu = false;
     node::SamplingCpuModel::Params sampling;
+    /**
+     * Fault-injection configuration (all-zero = perfect network, no
+     * injector is constructed). Fault randomness derives from the
+     * master seed, so runs are reproducible across engines.
+     */
+    fault::FaultParams faults;
     /** Master seed; all run randomness derives from it. */
     std::uint64_t seed = 1;
 };
@@ -61,6 +68,8 @@ class Cluster
     node::NodeSimulator &node(NodeId id) { return *nodes_.at(id); }
     mpi::Endpoint &endpoint(NodeId id) { return *endpoints_.at(id); }
     net::NetworkController &controller() { return *controller_; }
+    /** @return the fault injector, or nullptr on a perfect network. */
+    fault::FaultInjector *faultInjector() { return faults_.get(); }
     stats::Group &statsRoot() { return statsRoot_; }
     workloads::Workload &workload() { return workload_; }
     const ClusterParams &params() const { return params_; }
@@ -77,6 +86,9 @@ class Cluster
     /** @return true if any node has a pending event. */
     bool anyEventPending() const;
 
+    /** @return reliable-mode retransmissions summed over endpoints. */
+    std::uint64_t totalRetransmits() const;
+
     /**
      * Describe per-node progress for deadlock diagnostics (posted
      * receives, pending events, clocks).
@@ -88,6 +100,7 @@ class Cluster
     workloads::Workload &workload_;
     stats::Group statsRoot_;
     std::unique_ptr<net::NetworkController> controller_;
+    std::unique_ptr<fault::FaultInjector> faults_;
     std::vector<std::unique_ptr<node::NodeSimulator>> nodes_;
     std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;
     std::vector<std::unique_ptr<workloads::AppContext>> contexts_;

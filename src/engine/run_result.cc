@@ -11,8 +11,8 @@ namespace aqsim::engine
 std::string
 RunResult::summary() const
 {
-    char buf[256];
-    std::snprintf(
+    char buf[320];
+    int len = std::snprintf(
         buf, sizeof(buf),
         "%s/%s n=%zu sim=%.3fms host=%.3fs quanta=%llu pkts=%llu "
         "stragglers=%llu metric=%.4g",
@@ -21,6 +21,12 @@ RunResult::summary() const
         static_cast<unsigned long long>(quanta),
         static_cast<unsigned long long>(packets),
         static_cast<unsigned long long>(stragglers), metric);
+    if ((droppedFrames || retransmits) && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof(buf))
+        std::snprintf(buf + len, sizeof(buf) - len,
+                      " dropped=%llu retransmits=%llu",
+                      static_cast<unsigned long long>(droppedFrames),
+                      static_cast<unsigned long long>(retransmits));
     return buf;
 }
 

@@ -39,6 +39,11 @@ struct RunResult
     std::uint64_t latenessTicks = 0;
     double meanQuantumTicks = 0.0;
 
+    /** Frames dropped by the fault layer (0 on a perfect network). */
+    std::uint64_t droppedFrames = 0;
+    /** Reliable-mode retransmission timeouts across all endpoints. */
+    std::uint64_t retransmits = 0;
+
     /** Per-rank application completion ticks. */
     std::vector<Tick> finishTicks;
     /** Per-quantum records (only when timeline recording was on). */

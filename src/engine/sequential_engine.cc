@@ -1,12 +1,15 @@
 #include "engine/sequential_engine.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "core/synchronizer.hh"
+#include "engine/watchdog.hh"
 
 namespace aqsim::engine
 {
@@ -45,6 +48,22 @@ class CoSim : public net::DeliveryScheduler
         const std::uint64_t max_quanta =
             options_.maxQuanta ? options_.maxQuanta : 500'000'000ULL;
 
+        std::unique_ptr<Watchdog> watchdog;
+        if (options_.watchdogSeconds > 0.0) {
+            watchdog = std::make_unique<Watchdog>(
+                options_.watchdogSeconds, [this] {
+                    char head[96];
+                    std::snprintf(
+                        head, sizeof(head),
+                        "  quantum [%llu,%llu)\n",
+                        static_cast<unsigned long long>(
+                            sync_.quantumStart()),
+                        static_cast<unsigned long long>(
+                            sync_.quantumEnd()));
+                    return head + cluster_.progressReport();
+                });
+        }
+
         sync_.begin();
         while (!cluster_.allDone()) {
             if (!cluster_.anyEventPending()) {
@@ -53,6 +72,8 @@ class CoSim : public net::DeliveryScheduler
                       cluster_.progressReport().c_str());
             }
             runQuantum();
+            if (watchdog)
+                watchdog->kick();
             if (sync_.numQuanta() > max_quanta)
                 fatal("quantum budget exceeded (%llu); likely "
                       "livelock or mis-sized workload",
@@ -325,6 +346,8 @@ SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         cluster.controller().totalNextQuantum();
     result.latenessTicks = cluster.controller().totalLatenessTicks();
     result.meanQuantumTicks = sync.stats().meanQuantumLength();
+    result.droppedFrames = cluster.controller().totalDropped();
+    result.retransmits = cluster.totalRetransmits();
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
     return result;

@@ -71,6 +71,13 @@ struct EngineOptions
      * quantum; conservative runs are bit-identical for any value.
      */
     std::size_t numWorkers = 0;
+    /**
+     * Watchdog deadline in host seconds: fail the run with a
+     * diagnostic dump if a quantum makes no wall-clock progress for
+     * this long (lost acknowledgment, barrier deadlock, runaway
+     * coroutine). 0 = watchdog disabled.
+     */
+    double watchdogSeconds = 0.0;
 };
 
 /** Deterministic host-time co-simulating engine. */

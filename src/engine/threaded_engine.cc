@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "base/logging.hh"
 #include "check/invariants.hh"
 #include "core/synchronizer.hh"
+#include "engine/watchdog.hh"
 #include "engine/worker_pool.hh"
 
 namespace aqsim::engine
@@ -298,6 +301,24 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
             runNodeQuantum(cluster.node(id), mailboxes[id], qe);
     });
 
+    // The watchdog catches hangs the deadlock check cannot see:
+    // quanta that never finish (wedged worker, runaway coroutine) and
+    // lost-progress livelocks where events stay pending forever.
+    std::unique_ptr<Watchdog> watchdog;
+    if (options_.watchdogSeconds > 0.0) {
+        watchdog = std::make_unique<Watchdog>(
+            options_.watchdogSeconds, [&cluster, &sync] {
+                char head[96];
+                std::snprintf(head, sizeof(head),
+                              "  quantum [%llu,%llu)\n",
+                              static_cast<unsigned long long>(
+                                  sync.quantumStart()),
+                              static_cast<unsigned long long>(
+                                  sync.quantumEnd()));
+                return head + cluster.progressReport();
+            });
+    }
+
     const auto wall_start = std::chrono::steady_clock::now();
     sync.begin();
     const std::uint64_t max_quanta =
@@ -312,6 +333,8 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         }
         pool.runQuantum(sync.quantumEnd());
         coordinatorDrain(cluster, mailboxes);
+        if (watchdog)
+            watchdog->kick();
         const auto now_wall = std::chrono::steady_clock::now();
         const HostNs quantum_ns =
             std::chrono::duration<double, std::nano>(
@@ -347,6 +370,8 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         cluster.controller().totalNextQuantum();
     result.latenessTicks = cluster.controller().totalLatenessTicks();
     result.meanQuantumTicks = sync.stats().meanQuantumLength();
+    result.droppedFrames = cluster.controller().totalDropped();
+    result.retransmits = cluster.totalRetransmits();
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
     return result;

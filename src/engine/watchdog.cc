@@ -1,0 +1,72 @@
+#include "engine/watchdog.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace aqsim::engine
+{
+
+Watchdog::Watchdog(double deadline_seconds, DumpFn dump)
+    : deadlineSeconds_(deadline_seconds), dump_(std::move(dump))
+{
+    AQSIM_ASSERT(deadline_seconds > 0.0);
+    thread_ = std::thread([this] { monitor(); });
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Watchdog::kick()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++kickCount_;
+    }
+    cv_.notify_all();
+}
+
+std::uint64_t
+Watchdog::kicks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return kickCount_;
+}
+
+void
+Watchdog::monitor()
+{
+    const auto deadline = std::chrono::duration<double>(deadlineSeconds_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t last_seen = kickCount_;
+    while (!stop_) {
+        // Wake on every kick (or stop); declare a hang only when a
+        // full deadline passes with the kick counter frozen.
+        if (cv_.wait_for(lock, deadline, [&] {
+                return stop_ || kickCount_ != last_seen;
+            })) {
+            last_seen = kickCount_;
+            continue;
+        }
+        // Timed out with no progress: fail the run loudly. The dump
+        // callback reads engine state that is by definition not
+        // advancing, so tearing is unlikely; a garbled dump from a
+        // truly racing engine is still better than a silent hang.
+        const std::string dump = dump_ ? dump_() : std::string();
+        panic("watchdog: no quantum completed in %.1f s "
+              "(%llu quanta finished); run is hung\n%s",
+              deadlineSeconds_,
+              static_cast<unsigned long long>(kickCount_),
+              dump.c_str());
+    }
+}
+
+} // namespace aqsim::engine

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wall-clock watchdog for hung simulation runs.
+ *
+ * A quantum that stops making host-time progress — a lost
+ * acknowledgment with no retransmit timer, a barrier deadlock between
+ * worker threads, a runaway application coroutine — would otherwise
+ * hang the process silently. The watchdog runs on a dedicated host
+ * thread; the engine kicks it once per completed quantum, and if no
+ * kick arrives within the configured deadline the watchdog fails the
+ * run with a diagnostic dump of per-node progress.
+ *
+ * The watchdog observes only *host* time, never simulated time, so an
+ * armed watchdog has zero effect on simulation results.
+ */
+
+#ifndef AQSIM_ENGINE_WATCHDOG_HH
+#define AQSIM_ENGINE_WATCHDOG_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace aqsim::engine
+{
+
+/**
+ * Monitors an engine's quantum loop from a separate host thread and
+ * panics with diagnostics when no progress is observed for the
+ * deadline. Construction arms it; destruction disarms it.
+ */
+class Watchdog
+{
+  public:
+    /** Produces the diagnostic dump printed when the run is hung. */
+    using DumpFn = std::function<std::string()>;
+
+    /**
+     * Arm the watchdog.
+     *
+     * @param deadline_seconds max host seconds between kicks
+     * @param dump called (from the watchdog thread) to describe the
+     *        stuck state; must be safe to invoke while the engine
+     *        threads are wedged mid-quantum
+     */
+    Watchdog(double deadline_seconds, DumpFn dump);
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Disarm and join the monitor thread. */
+    ~Watchdog();
+
+    /** Record progress: one quantum completed. */
+    void kick();
+
+    /** Number of kicks observed (tests). */
+    std::uint64_t kicks() const;
+
+  private:
+    void monitor();
+
+    const double deadlineSeconds_;
+    DumpFn dump_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint64_t kickCount_ = 0;
+    bool stop_ = false;
+
+    std::thread thread_;
+};
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_WATCHDOG_HH

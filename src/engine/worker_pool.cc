@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "base/logging.hh"
+
 namespace aqsim::engine
 {
 
 WorkerPool::WorkerPool(std::size_t workers, QuantumFn fn)
     : gate_(workers), fn_(std::move(fn))
 {
+    if (workers == 0)
+        fatal("worker pool needs at least one worker "
+              "(use resolveWorkerCount to map 0 to the host's "
+              "concurrency)");
     threads_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
         threads_.emplace_back(&WorkerPool::threadBody, this, w);

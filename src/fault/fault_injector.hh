@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic fault injection between the NICs and the switch.
+ *
+ * The injector sits inside the NetworkController's routing path and
+ * perturbs traffic the way a lossy physical network would: per-link
+ * probabilistic drop, duplication, corruption (a flag on the Packet,
+ * the payload identity is untouched), reordering jitter, plus
+ * *scheduled* outages — link-down windows and node crash/pause windows
+ * evaluated against the frame's departure tick.
+ *
+ * Determinism contract: every decision draws from a per-link PRNG
+ * stream forked from one seed. A source NIC serializes its frames in
+ * departTick order and the controller routes under one mutex, so the
+ * per-link decision sequence is a pure function of the per-link frame
+ * sequence — independent of engine choice, worker count, or thread
+ * interleaving. Conservative runs with faults enabled therefore stay
+ * bit-identical across SequentialEngine and WorkerPool at any worker
+ * count (see docs/fault-injection.md).
+ */
+
+#ifndef AQSIM_FAULT_FAULT_INJECTOR_HH
+#define AQSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "stats/stats.hh"
+
+namespace aqsim::fault
+{
+
+/** A scheduled outage of the (bidirectional) link between two nodes. */
+struct LinkWindow
+{
+    NodeId a = 0;
+    NodeId b = 0;
+    /** Frames departing in [from, to) are affected. */
+    Tick from = 0;
+    Tick to = maxTick;
+};
+
+/** A scheduled per-node outage (crash) or stall (pause) window. */
+struct NodeWindow
+{
+    NodeId node = 0;
+    /** Frames departing in [from, to) are affected. */
+    Tick from = 0;
+    Tick to = maxTick;
+};
+
+/** Configuration of the fault model (all links share the same rates). */
+struct FaultParams
+{
+    /** Probability a frame is silently dropped on the wire. */
+    double dropRate = 0.0;
+    /** Probability a frame is delivered twice. */
+    double duplicateRate = 0.0;
+    /** Probability a frame arrives with its corrupted flag set. */
+    double corruptRate = 0.0;
+    /** Probability a frame is delayed by a random jitter. */
+    double jitterRate = 0.0;
+    /** Maximum added delay for a jittered frame, in ticks. */
+    Tick maxJitterTicks = 0;
+
+    /** Links that are down (frames dropped) during their windows. */
+    std::vector<LinkWindow> linkDown;
+    /** Crashed nodes: frames to or from them are dropped. */
+    std::vector<NodeWindow> nodeCrash;
+    /** Paused nodes: frames to or from them are held to window end. */
+    std::vector<NodeWindow> nodePause;
+
+    /** @return true if any fault source is configured. */
+    bool anyEnabled() const;
+};
+
+/**
+ * Per-link deterministic fault decisions; one instance per cluster,
+ * owned by the Cluster and consulted by the NetworkController while it
+ * holds its injection mutex (so decide() needs no locking of its own).
+ */
+class FaultInjector
+{
+  public:
+    /** What to do with one frame (and its optional duplicate). */
+    struct Decision
+    {
+        bool drop = false;
+        bool corrupt = false;
+        bool duplicate = false;
+        /** Extra arrival delay of the primary copy. */
+        Tick jitter = 0;
+        /** Extra arrival delay of the duplicate copy. */
+        Tick duplicateJitter = 0;
+        /** Earliest permitted arrival tick (node-pause hold). */
+        Tick notBefore = 0;
+    };
+
+    /**
+     * @param num_nodes cluster size (validates window node ids)
+     * @param params fault model configuration (validated here)
+     * @param rng parent stream; one child is forked per directed link
+     * @param stats_parent group under which "faults" registers
+     */
+    FaultInjector(std::size_t num_nodes, FaultParams params, Rng rng,
+                  stats::Group &stats_parent);
+
+    /**
+     * Decide the fate of one frame src -> dst departing at
+     * @p depart_tick. Consumes randomness from the (src,dst) stream
+     * only. Caller must serialize calls (the controller's inject mutex).
+     */
+    Decision decide(NodeId src, NodeId dst, Tick depart_tick);
+
+    /** Restore the initial stream states so reruns are identical. */
+    void reset();
+
+    const FaultParams &params() const { return params_; }
+
+    /** Lifetime counters. */
+    std::uint64_t totalDropped() const { return totalDropped_; }
+    std::uint64_t totalDuplicated() const { return totalDuplicated_; }
+    std::uint64_t totalCorrupted() const { return totalCorrupted_; }
+    std::uint64_t totalDelayed() const { return totalDelayed_; }
+
+  private:
+    /** Flat directed-link index. */
+    std::size_t
+    linkIndex(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * numNodes_ + dst;
+    }
+
+    /** Re-fork all per-link streams from the stored parent state. */
+    void forkStreams();
+
+    /** @return true if depart_tick falls in a down/crash window. */
+    bool outage(NodeId src, NodeId dst, Tick depart_tick) const;
+
+    std::size_t numNodes_;
+    FaultParams params_;
+    /** Pristine parent copy; forkStreams() always starts from here. */
+    const Rng parentRng_;
+    std::vector<Rng> linkRng_;
+
+    std::uint64_t totalDropped_ = 0;
+    std::uint64_t totalDuplicated_ = 0;
+    std::uint64_t totalCorrupted_ = 0;
+    std::uint64_t totalDelayed_ = 0;
+
+    stats::Group &statsGroup_;
+    stats::Scalar &statDropped_;
+    stats::Scalar &statDuplicated_;
+    stats::Scalar &statCorrupted_;
+    stats::Scalar &statDelayed_;
+};
+
+} // namespace aqsim::fault
+
+#endif // AQSIM_FAULT_FAULT_INJECTOR_HH

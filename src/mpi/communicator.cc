@@ -50,11 +50,22 @@ Endpoint::Endpoint(Rank rank, std::size_t num_ranks,
       statUnexpected_(mpiStats_.add<stats::Scalar>(
           "unexpectedHits", "receives satisfied from the unexpected "
                             "queue")),
+      statRetransmits_(mpiStats_.add<stats::Scalar>(
+          "retransmits", "reliable-mode retransmission timeouts")),
       statLatency_(mpiStats_.add<stats::Log2Distribution>(
           "messageLatency",
           "ticks from application send to full arrival"))
 {
     AQSIM_ASSERT(rank < num_ranks);
+    if (params_.reliable) {
+        if (params_.retryTimeout == 0)
+            fatal("mpi: reliable mode needs retryTimeout > 0");
+        if (params_.retryBackoff < 1.0)
+            fatal("mpi: retryBackoff must be >= 1.0 (got %f)",
+                  params_.retryBackoff);
+        if (params_.maxRetries == 0)
+            fatal("mpi: reliable mode needs maxRetries >= 1");
+    }
     node_.nic().setRxHandler(
         [this](const net::PacketPtr &pkt) { handleRx(pkt); });
 }
@@ -104,9 +115,16 @@ Endpoint::send(Rank dst, int tag, std::uint64_t bytes)
         static_cast<double>(bytes) / params_.copyBytesPerNs);
     co_await sim::DelayAwaitable(queue_, params_.sendOverhead + copy);
 
+    const std::uint32_t num_frags =
+        fragmentCount(hdr.bytes, framePayload());
+
     if (bytes <= params_.eagerThreshold) {
-        // Eager: fire and forget; local completion semantics.
+        // Eager: fire and forget; local completion semantics. In
+        // reliable mode the retransmit timer keeps running in the
+        // background until the receiver's Rack arrives.
         transmitData(hdr);
+        if (params_.reliable)
+            armRetry(trackRetry(hdr, num_frags, false));
         co_return;
     }
 
@@ -119,23 +137,37 @@ Endpoint::send(Rank dst, int tag, std::uint64_t bytes)
     auto trigger = std::make_unique<sim::Trigger>(queue_);
     sim::Trigger *cts = trigger.get();
     ctsWaiters_.emplace(hdr.msgId, std::move(trigger));
+    if (params_.reliable)
+        armRetry(trackRetry(hdr, num_frags, true));
     sendControl(ControlPayload::Kind::Rts, hdr, dst);
 
     co_await cts->wait();
 
-    const std::uint32_t num_frags =
-        fragmentCount(hdr.bytes, framePayload());
     const std::uint32_t window = windowFragments();
     for (std::uint32_t first = 0; first < num_frags;
          first += window) {
         const std::uint32_t last =
             std::min(num_frags, first + window);
+        if (params_.reliable) {
+            // Point the retry timer at this window before it goes on
+            // the wire.
+            auto &st = txRetry_.at(hdr.msgId);
+            st.awaitingCts = false;
+            st.winFirst = first;
+            st.winLast = last;
+            st.retries = 0;
+            st.timeout = params_.retryTimeout;
+            armRetry(st);
+        }
         transmitFragments(hdr, first, last, num_frags);
         if (last < num_frags) {
-            // Stall until the receiver acknowledges this window.
+            // Stall until the receiver acknowledges this window: only
+            // an Ack confirming exactly `last` cumulative fragments
+            // releases us (stale re-Acks of earlier boundaries are
+            // ignored by handleAck).
             auto ack = std::make_unique<sim::Trigger>(queue_);
             sim::Trigger *ack_ptr = ack.get();
-            ackWaiters_[hdr.msgId] = std::move(ack);
+            ackWaiters_[hdr.msgId] = AckWaiter{std::move(ack), last};
             co_await ack_ptr->wait();
         }
     }
@@ -146,10 +178,11 @@ Endpoint::send(Rank dst, int tag, std::uint64_t bytes)
 
 void
 Endpoint::sendControl(ControlPayload::Kind kind, const MsgHeader &header,
-                      Rank to)
+                      Rank to, std::uint32_t progress)
 {
     node_.nic().send(to, params_.ctrlFrameBytes,
-                     std::make_shared<ControlPayload>(kind, header));
+                     std::make_shared<ControlPayload>(kind, header,
+                                                     progress));
 }
 
 std::uint32_t
@@ -186,10 +219,84 @@ Endpoint::transmitFragments(const MsgHeader &header, std::uint32_t first,
     }
 }
 
+Endpoint::TxRetryState &
+Endpoint::trackRetry(const MsgHeader &header, std::uint32_t num_frags,
+                     bool awaiting_cts)
+{
+    TxRetryState st;
+    st.header = header;
+    st.numFrags = num_frags;
+    st.winFirst = 0;
+    st.winLast = num_frags;
+    st.awaitingCts = awaiting_cts;
+    st.timeout = params_.retryTimeout;
+    auto [it, inserted] = txRetry_.emplace(header.msgId, st);
+    AQSIM_ASSERT(inserted);
+    return it->second;
+}
+
+void
+Endpoint::armRetry(TxRetryState &st)
+{
+    cancelRetry(st);
+    const std::uint64_t msg_id = st.header.msgId;
+    st.timer = queue_.scheduleIn(
+        st.timeout, [this, msg_id] { onRetryTimeout(msg_id); },
+        sim::Priority::Late);
+}
+
+void
+Endpoint::cancelRetry(TxRetryState &st)
+{
+    if (st.timer != sim::EventQueue::invalidEvent) {
+        queue_.deschedule(st.timer);
+        st.timer = sim::EventQueue::invalidEvent;
+    }
+}
+
+void
+Endpoint::onRetryTimeout(std::uint64_t msg_id)
+{
+    auto it = txRetry_.find(msg_id);
+    if (it == txRetry_.end())
+        return; // acknowledged in the meantime
+    auto &st = it->second;
+    st.timer = sim::EventQueue::invalidEvent;
+    if (++st.retries > params_.maxRetries)
+        fatal("mpi: rank %u gave up on msg %llu to rank %u after %u "
+              "retries; the network is lossier than "
+              "retryTimeout/maxRetries can absorb",
+              rank_, static_cast<unsigned long long>(msg_id),
+              st.header.dst, params_.maxRetries);
+    ++retransmits_;
+    ++statRetransmits_;
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u retry %u for msg %llu (%s)", rank_,
+                  st.retries, static_cast<unsigned long long>(msg_id),
+                  st.awaitingCts ? "RTS" : "window");
+    if (st.awaitingCts)
+        sendControl(ControlPayload::Kind::Rts, st.header,
+                    st.header.dst);
+    else
+        transmitFragments(st.header, st.winFirst, st.winLast,
+                          st.numFrags);
+    st.timeout = static_cast<Tick>(static_cast<double>(st.timeout) *
+                                   params_.retryBackoff);
+    armRetry(st);
+}
+
 void
 Endpoint::handleRx(const net::PacketPtr &pkt)
 {
     AQSIM_ASSERT(pkt->payload != nullptr);
+    if (pkt->corrupted) {
+        // Link-layer CRC failure: the frame is discarded before any
+        // protocol processing. Reliable mode recovers through the
+        // sender's retransmit timer; without it the loss is permanent,
+        // exactly like a dropped frame.
+        ++corruptDropped_;
+        return;
+    }
     if (auto frag = std::dynamic_pointer_cast<const FragmentPayload>(
             pkt->payload)) {
         handleFragment(*frag);
@@ -205,7 +312,10 @@ Endpoint::handleRx(const net::PacketPtr &pkt)
             handleCts(ctrl->header);
             break;
           case ControlPayload::Kind::Ack:
-            handleAck(ctrl->header);
+            handleAck(*ctrl);
+            break;
+          case ControlPayload::Kind::Rack:
+            handleRack(ctrl->header);
             break;
         }
         return;
@@ -217,15 +327,43 @@ Endpoint::handleRx(const net::PacketPtr &pkt)
 void
 Endpoint::handleFragment(const FragmentPayload &frag)
 {
+    if (params_.reliable &&
+        deliveredMsgIds_.count(frag.header.msgId)) {
+        // A retransmit of a message we already delivered: the Rack was
+        // lost. Re-acknowledge without resurrecting reassembly state
+        // (the message must not complete twice).
+        sendControl(ControlPayload::Kind::Rack, frag.header,
+                    frag.header.src);
+        return;
+    }
+
     auto [it, inserted] =
         rxBuffers_.try_emplace(frag.header.msgId, frag.header);
-    const bool complete = it->second.addFragment(frag);
+    const auto result = it->second.addFragment(frag);
     const std::uint32_t received = it->second.received();
+    const std::uint32_t window = windowFragments();
 
-    if (complete) {
+    if (result == RxBuffer::AddResult::Duplicate) {
+        // A retransmitted window whose original flow-control Ack was
+        // lost: the duplicate of the window's final fragment triggers
+        // exactly one repeat Ack so the sender can move on.
+        if (frag.header.bytes > params_.eagerThreshold &&
+            frag.numFrags > window && received % window == 0 &&
+            frag.fragIndex + 1 == received)
+            sendControl(ControlPayload::Kind::Ack, frag.header,
+                        frag.header.src, received);
+        return;
+    }
+
+    if (result == RxBuffer::AddResult::Complete) {
         const MsgHeader header = it->second.header();
         rxBuffers_.erase(it);
         ackProgress_.erase(header.msgId);
+        if (params_.reliable) {
+            deliveredMsgIds_.insert(header.msgId);
+            sendControl(ControlPayload::Kind::Rack, header,
+                        header.src);
+        }
         messageComplete(header);
         return;
     }
@@ -233,30 +371,60 @@ Endpoint::handleFragment(const FragmentPayload &frag)
     // multi-window rendezvous message so the sender can release the
     // next one (eager messages are below the window size and are
     // never acknowledged).
-    const std::uint32_t window = windowFragments();
     if (frag.header.bytes > params_.eagerThreshold &&
         frag.numFrags > window && received % window == 0) {
         auto &acked = ackProgress_[frag.header.msgId];
         if (received > acked) {
             acked = received;
             sendControl(ControlPayload::Kind::Ack, frag.header,
-                        frag.header.src);
+                        frag.header.src, received);
         }
     }
 }
 
 void
-Endpoint::handleAck(const MsgHeader &header)
+Endpoint::handleAck(const ControlPayload &ctrl)
 {
+    const MsgHeader &header = ctrl.header;
     AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
-                  "rank %u got window ACK msg=%llu",
-                  rank_, static_cast<unsigned long long>(header.msgId));
+                  "rank %u got window ACK msg=%llu progress=%u",
+                  rank_, static_cast<unsigned long long>(header.msgId),
+                  ctrl.progress);
     auto it = ackWaiters_.find(header.msgId);
-    if (it == ackWaiters_.end())
+    if (it == ackWaiters_.end()) {
+        if (params_.reliable)
+            return; // duplicate of an Ack we already consumed
         panic("endpoint %u got ACK for unknown msg %llu", rank_,
               static_cast<unsigned long long>(header.msgId));
-    it->second->fire();
+    }
+    if (ctrl.progress != it->second.expected) {
+        // A repeat Ack for a boundary this sender already crossed
+        // (the retransmit hole-fill and the trailing duplicate of a
+        // window's last fragment each generate one). Releasing the
+        // current window on it would let the stream run ahead of the
+        // retry state and strand holes the timer never re-covers.
+        if (params_.reliable)
+            return;
+        panic("endpoint %u got ACK for msg %llu at progress %u while "
+              "waiting for %u",
+              rank_, static_cast<unsigned long long>(header.msgId),
+              ctrl.progress, it->second.expected);
+    }
+    it->second.trigger->fire();
     ackWaiters_.erase(it);
+}
+
+void
+Endpoint::handleRack(const MsgHeader &header)
+{
+    AQSIM_DPRINTF(Mpi, queue_.now(), "mpi",
+                  "rank %u got delivery ACK msg=%llu",
+                  rank_, static_cast<unsigned long long>(header.msgId));
+    auto it = txRetry_.find(header.msgId);
+    if (it == txRetry_.end())
+        return; // duplicate Rack; retry state already retired
+    cancelRetry(it->second);
+    txRetry_.erase(it);
 }
 
 void
@@ -306,6 +474,25 @@ Endpoint::handleRts(const MsgHeader &header)
                   rank_, static_cast<unsigned long long>(header.msgId),
                   header.src,
                   static_cast<unsigned long long>(header.bytes));
+    // Duplicate-announcement guards: the fault layer can replicate an
+    // RTS frame, and reliable mode retransmits one whose CTS was lost.
+    // A duplicate must never bind a second receive.
+    if (deliveredMsgIds_.count(header.msgId)) {
+        // Ancient duplicate: the message has long since completed.
+        sendControl(ControlPayload::Kind::Rack, header, header.src);
+        return;
+    }
+    for (const auto &rec : posted_) {
+        if (rec.boundMsgId == header.msgId) {
+            // Our CTS was lost; the sender is asking again.
+            sendControl(ControlPayload::Kind::Cts, header, header.src);
+            return;
+        }
+    }
+    if (rxBuffers_.count(header.msgId))
+        return; // data already flowing; the handshake succeeded
+    if (pendingRts_[header.src].count(header.seq))
+        return; // announcement already queued for a future recv
     // Bind the earliest matching unbound posted recv, if any.
     for (auto &rec : posted_) {
         if (rec.boundMsgId == 0 &&
@@ -326,9 +513,23 @@ Endpoint::handleCts(const MsgHeader &header)
                   "rank %u got CTS msg=%llu",
                   rank_, static_cast<unsigned long long>(header.msgId));
     auto it = ctsWaiters_.find(header.msgId);
-    if (it == ctsWaiters_.end())
+    if (it == ctsWaiters_.end()) {
+        if (params_.reliable)
+            return; // duplicate CTS; the handshake already completed
         panic("endpoint %u got CTS for unknown msg %llu", rank_,
               static_cast<unsigned long long>(header.msgId));
+    }
+    if (params_.reliable) {
+        // Stop the RTS retry clock; the send coroutine re-arms the
+        // timer per data window once it resumes.
+        auto rit = txRetry_.find(header.msgId);
+        if (rit != txRetry_.end()) {
+            rit->second.awaitingCts = false;
+            rit->second.retries = 0;
+            rit->second.timeout = params_.retryTimeout;
+            cancelRetry(rit->second);
+        }
+    }
     it->second->fire();
     ctsWaiters_.erase(it);
 }

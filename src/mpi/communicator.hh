@@ -27,6 +27,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "base/types.hh"
@@ -131,6 +132,20 @@ struct EndpointParams
     std::uint32_t frameOverhead = 78;
     /** Size of RTS/CTS control frames. */
     std::uint32_t ctrlFrameBytes = 80;
+    /**
+     * Reliable delivery: retransmit unacknowledged messages until the
+     * receiver's Rack arrives, suppress duplicates at the receiver.
+     * Required for workloads to complete on a lossy (fault-injected)
+     * network; a perfect network never retransmits, so leaving this on
+     * costs only the timer bookkeeping.
+     */
+    bool reliable = false;
+    /** Initial retransmit timeout (ticks) in reliable mode. */
+    Tick retryTimeout = microseconds(50);
+    /** Multiplicative backoff applied to the timeout per retry. */
+    double retryBackoff = 2.0;
+    /** Retries per message before the run is declared failed. */
+    unsigned maxRetries = 20;
 };
 
 /**
@@ -197,6 +212,13 @@ class Endpoint
     std::uint64_t messagesReceived() const { return messagesReceived_; }
     std::uint64_t rendezvousCount() const { return rendezvousCount_; }
 
+    /** Retransmission events fired in reliable mode. */
+    std::uint64_t retransmits() const { return retransmits_; }
+    /** Frames discarded for a set corrupted flag (link CRC failure). */
+    std::uint64_t corruptDropped() const { return corruptDropped_; }
+    /** Messages still awaiting a delivery acknowledgment. */
+    std::size_t retryBacklog() const { return txRetry_.size(); }
+
   private:
     friend class RecvAwaitable;
     friend class RecvRequest;
@@ -214,12 +236,44 @@ class Endpoint
         std::shared_ptr<RecvRequest::State> request;
     };
 
+    /**
+     * Reliable-mode sender bookkeeping for one in-flight message: what
+     * to retransmit when the retry timer expires, and how often it has
+     * already fired. Lives from first transmission until the receiver's
+     * Rack arrives.
+     */
+    struct TxRetryState
+    {
+        MsgHeader header;
+        std::uint32_t numFrags = 0;
+        /** Fragment window [winFirst, winLast) to retransmit. */
+        std::uint32_t winFirst = 0;
+        std::uint32_t winLast = 0;
+        /** Still in the RTS/CTS handshake: retransmit the RTS. */
+        bool awaitingCts = false;
+        unsigned retries = 0;
+        /** Current timeout (grows by retryBackoff per retry). */
+        Tick timeout = 0;
+        sim::EventQueue::EventId timer = sim::EventQueue::invalidEvent;
+    };
+
     /** NIC receive handler: dispatch on payload type. */
     void handleRx(const net::PacketPtr &pkt);
     void handleFragment(const FragmentPayload &frag);
     void handleRts(const MsgHeader &header);
     void handleCts(const MsgHeader &header);
-    void handleAck(const MsgHeader &header);
+    void handleAck(const ControlPayload &ctrl);
+    void handleRack(const MsgHeader &header);
+
+    /** Register retry state for a just-transmitted message. */
+    TxRetryState &trackRetry(const MsgHeader &header,
+                             std::uint32_t num_frags, bool awaiting_cts);
+    /** (Re)arm the retry timer for @p st at now() + st.timeout. */
+    void armRetry(TxRetryState &st);
+    /** Cancel a pending retry timer, if any. */
+    void cancelRetry(TxRetryState &st);
+    /** Retry timer expired: retransmit the outstanding RTS/window. */
+    void onRetryTimeout(std::uint64_t msg_id);
 
     /** A message fully arrived: match it or store it as unexpected. */
     void messageComplete(const MsgHeader &header);
@@ -245,7 +299,7 @@ class Endpoint
 
     /** Send an RTS/CTS control frame. */
     void sendControl(ControlPayload::Kind kind, const MsgHeader &header,
-                     Rank to);
+                     Rank to, std::uint32_t progress = 0);
 
     /** Enqueue all data fragments of a message on the NIC. */
     void transmitData(const MsgHeader &header);
@@ -292,14 +346,34 @@ class Endpoint
     std::deque<PostedRecv> posted_;
     /** Senders blocked waiting for CTS, by msgId. */
     std::map<std::uint64_t, std::unique_ptr<sim::Trigger>> ctsWaiters_;
+    /** A sender stalled on one flow-control window boundary. */
+    struct AckWaiter
+    {
+        std::unique_ptr<sim::Trigger> trigger;
+        /**
+         * Cumulative fragment count the Ack must confirm. Under loss
+         * a retransmitted window can generate repeated Acks for an
+         * already-crossed boundary; firing on one of those would
+         * release the next window while this one still has holes the
+         * retry timer no longer covers.
+         */
+        std::uint32_t expected = 0;
+    };
+
     /** Senders blocked waiting for a window ACK, by msgId. */
-    std::map<std::uint64_t, std::unique_ptr<sim::Trigger>> ackWaiters_;
+    std::map<std::uint64_t, AckWaiter> ackWaiters_;
     /** Inbound fragment counts pending the next window ACK. */
     std::map<std::uint64_t, std::uint32_t> ackProgress_;
+    /** Reliable mode: unacknowledged outbound messages, by msgId. */
+    std::map<std::uint64_t, TxRetryState> txRetry_;
+    /** Reliable mode: fully delivered inbound msgIds (dup filter). */
+    std::set<std::uint64_t> deliveredMsgIds_;
 
     std::uint64_t messagesSent_ = 0;
     std::uint64_t messagesReceived_ = 0;
     std::uint64_t rendezvousCount_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t corruptDropped_ = 0;
 
     stats::Group &mpiStats_;
     stats::Scalar &statMsgsSent_;
@@ -307,6 +381,7 @@ class Endpoint
     stats::Scalar &statMsgsRecvd_;
     stats::Scalar &statRendezvous_;
     stats::Scalar &statUnexpected_;
+    stats::Scalar &statRetransmits_;
     stats::Log2Distribution &statLatency_;
 };
 

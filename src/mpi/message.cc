@@ -51,7 +51,7 @@ RxBuffer::RxBuffer(const MsgHeader &header)
     // numFrags_ is learned from the first fragment seen.
 }
 
-bool
+RxBuffer::AddResult
 RxBuffer::addFragment(const FragmentPayload &frag)
 {
     AQSIM_ASSERT(frag.header.msgId == header_.msgId);
@@ -65,11 +65,11 @@ RxBuffer::addFragment(const FragmentPayload &frag)
     AQSIM_ASSERT(frag.numFrags == numFrags_);
     AQSIM_ASSERT(frag.fragIndex < numFrags_);
     if (seen_[frag.fragIndex])
-        panic("duplicate fragment %u of msg %llu", frag.fragIndex,
-              static_cast<unsigned long long>(frag.header.msgId));
+        return AddResult::Duplicate;
     seen_[frag.fragIndex] = true;
     ++received_;
-    return received_ == numFrags_;
+    return received_ == numFrags_ ? AddResult::Complete
+                                  : AddResult::Progress;
 }
 
 std::uint32_t

@@ -84,14 +84,32 @@ class ControlPayload : public net::Payload
          * latency-sensitive).
          */
         Ack,
+        /**
+         * Reliable-delivery acknowledgment: the whole message was
+         * received and delivered. The sender cancels its retransmit
+         * timer; a duplicate delivery attempt is answered with a fresh
+         * Rack (see docs/fault-injection.md).
+         */
+        Rack,
     };
 
-    ControlPayload(Kind kind, MsgHeader header)
-        : kind(kind), header(header)
+    ControlPayload(Kind kind, MsgHeader header,
+                   std::uint32_t progress = 0)
+        : kind(kind), header(header), progress(progress)
     {}
 
     Kind kind;
     MsgHeader header;
+    /**
+     * Ack only: the receiver's cumulative distinct-fragment count at
+     * the moment the Ack was generated. A retransmitted window can
+     * produce more than one Ack for the same boundary (the hole-fill
+     * and the trailing duplicate of the window's final fragment);
+     * the sender uses this field to accept only the Ack for the
+     * window it is actually stalled on, so a stale or repeated Ack
+     * can never release a later window early.
+     */
+    std::uint32_t progress;
 };
 
 /** A fully received, verified message as seen by the application. */
@@ -119,13 +137,26 @@ struct Message
 class RxBuffer
 {
   public:
+    /** Outcome of accounting one fragment. */
+    enum class AddResult
+    {
+        /** New fragment accepted, message still incomplete. */
+        Progress,
+        /** New fragment accepted and the message is now complete. */
+        Complete,
+        /**
+         * Fragment already seen (a retransmit or a duplicated frame);
+         * ignored. Tolerated rather than fatal because the fault layer
+         * and the reliable-delivery retransmit path both legitimately
+         * produce duplicates.
+         */
+        Duplicate,
+    };
+
     explicit RxBuffer(const MsgHeader &header);
 
-    /**
-     * Account one fragment.
-     * @return true if the message is now complete.
-     */
-    bool addFragment(const FragmentPayload &frag);
+    /** Account one fragment. */
+    AddResult addFragment(const FragmentPayload &frag);
 
     const MsgHeader &header() const { return header_; }
     std::uint32_t received() const { return received_; }

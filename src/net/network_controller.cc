@@ -5,6 +5,7 @@
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "check/invariants.hh"
+#include "fault/fault_injector.hh"
 
 namespace aqsim::net
 {
@@ -69,6 +70,12 @@ NetworkController::setScheduler(DeliveryScheduler *scheduler)
 }
 
 void
+NetworkController::setFaultInjector(fault::FaultInjector *faults)
+{
+    faults_ = faults;
+}
+
+void
 NetworkController::addObserver(PacketObserver observer)
 {
     observers_.push_back(std::move(observer));
@@ -117,10 +124,41 @@ NetworkController::inject(const PacketPtr &pkt)
 void
 NetworkController::routeOne(const PacketPtr &pkt)
 {
+    if (!faults_) {
+        deliverOne(pkt, 0, 0);
+        return;
+    }
+    const auto d =
+        faults_->decide(pkt->src, pkt->dst, pkt->departTick);
+    if (d.drop) {
+        // The frame transited the controller before dying on the
+        // wire, so it still counts as observed traffic for the
+        // adaptive quantum signal — but it is never delivered.
+        ++packetsThisQuantum_;
+        ++totalDropped_;
+        AQSIM_DPRINTF(Packet, pkt->departTick, "net", "%s -> DROPPED",
+                      pkt->toString().c_str());
+        return;
+    }
+    if (d.corrupt)
+        pkt->corrupted = true;
+    deliverOne(pkt, d.jitter, d.notBefore);
+    if (d.duplicate) {
+        auto copy = std::make_shared<Packet>(*pkt);
+        deliverOne(copy, d.duplicateJitter, d.notBefore);
+    }
+}
+
+void
+NetworkController::deliverOne(const PacketPtr &pkt, Tick extra_delay,
+                              Tick not_before)
+{
     pkt->id = nextPacketId_++;
     pkt->idealArrival =
         switch_->egress(pkt->src, pkt->dst, pkt->bytes, pkt->departTick) +
-        params_.nic.rxLatency;
+        params_.nic.rxLatency + extra_delay;
+    if (pkt->idealArrival < not_before)
+        pkt->idealArrival = not_before;
 
     DeliveryKind kind = DeliveryKind::OnTime;
     const Tick actual = scheduler_->place(pkt, kind);
@@ -168,6 +206,13 @@ NetworkController::reset()
     packetsThisQuantum_ = 0;
     totalPackets_ = totalStragglers_ = totalNextQuantum_ = 0;
     totalLatenessTicks_ = 0;
+    totalDropped_ = 0;
+    // The registered stats::* objects accumulate alongside the plain
+    // counters and must be cleared with them, or repeated runs in one
+    // process report stale packet/straggler/lateness numbers.
+    statsGroup_.resetAll();
+    if (faults_)
+        faults_->reset();
 }
 
 } // namespace aqsim::net

@@ -30,6 +30,11 @@
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::fault
+{
+class FaultInjector;
+} // namespace aqsim::fault
+
 namespace aqsim::net
 {
 
@@ -120,6 +125,14 @@ class NetworkController
     /** Bind the engine's delivery scheduler (required before inject). */
     void setScheduler(DeliveryScheduler *scheduler);
 
+    /**
+     * Interpose a fault injector between the NICs and the switch
+     * (nullptr = perfect network). The controller consults it for every
+     * unicast route while holding the injection mutex, so the injector
+     * needs no locking of its own.
+     */
+    void setFaultInjector(fault::FaultInjector *faults);
+
     /** Register an observer called for every routed packet. */
     void addObserver(PacketObserver observer);
 
@@ -152,6 +165,9 @@ class NetworkController
     std::uint64_t totalStragglers() const { return totalStragglers_; }
     std::uint64_t totalNextQuantum() const { return totalNextQuantum_; }
 
+    /** Frames dropped by the fault layer (0 on a perfect network). */
+    std::uint64_t totalDropped() const { return totalDropped_; }
+
     /** Sum over stragglers of (actual - ideal) delivery ticks. */
     std::uint64_t totalLatenessTicks() const
     {
@@ -165,8 +181,12 @@ class NetworkController
     void reset();
 
   private:
-    /** Route a single unicast frame. */
+    /** Route a single unicast frame (fault decisions + delivery). */
     void routeOne(const PacketPtr &pkt);
+
+    /** Time and place one delivery (a surviving frame or a copy). */
+    void deliverOne(const PacketPtr &pkt, Tick extra_delay,
+                    Tick not_before);
 
     std::size_t numNodes_;
     /** Serializes concurrent injections (ThreadedEngine). */
@@ -174,6 +194,7 @@ class NetworkController
     NetworkParams params_;
     std::shared_ptr<SwitchModel> switch_;
     DeliveryScheduler *scheduler_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
     std::vector<PacketObserver> observers_;
 
     std::uint64_t nextPacketId_ = 1;
@@ -182,6 +203,7 @@ class NetworkController
     std::uint64_t totalStragglers_ = 0;
     std::uint64_t totalNextQuantum_ = 0;
     std::uint64_t totalLatenessTicks_ = 0;
+    std::uint64_t totalDropped_ = 0;
 
     stats::Group &statsGroup_;
     stats::Scalar &statPackets_;

@@ -57,6 +57,14 @@ struct Packet
      */
     Tick idealArrival = 0;
 
+    /**
+     * Set by the fault-injection layer when the frame was damaged on
+     * the wire. The payload identity is untouched (we model shape, not
+     * content); receivers treat the flag like a failed link-layer CRC
+     * and discard the frame.
+     */
+    bool corrupted = false;
+
     /** Upper-layer payload (e.g. an MPI message fragment). */
     PayloadPtr payload;
 

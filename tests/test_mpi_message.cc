@@ -66,7 +66,7 @@ TEST(RxBuffer, SingleFragmentCompletesImmediately)
     MsgHeader h = makeHeader();
     RxBuffer buf(h);
     FragmentPayload frag(h, 0, 1);
-    EXPECT_TRUE(buf.addFragment(frag));
+    EXPECT_EQ(buf.addFragment(frag), RxBuffer::AddResult::Complete);
     EXPECT_EQ(buf.received(), 1u);
 }
 
@@ -74,28 +74,45 @@ TEST(RxBuffer, MultiFragmentCompletesOnLast)
 {
     MsgHeader h = makeHeader();
     RxBuffer buf(h);
-    EXPECT_FALSE(buf.addFragment(FragmentPayload(h, 0, 3)));
-    EXPECT_FALSE(buf.addFragment(FragmentPayload(h, 2, 3)));
-    EXPECT_TRUE(buf.addFragment(FragmentPayload(h, 1, 3)));
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 0, 3)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 2, 3)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 1, 3)),
+              RxBuffer::AddResult::Complete);
 }
 
 TEST(RxBuffer, OutOfOrderFragmentsAccepted)
 {
     MsgHeader h = makeHeader();
     RxBuffer buf(h);
-    EXPECT_FALSE(buf.addFragment(FragmentPayload(h, 3, 4)));
-    EXPECT_FALSE(buf.addFragment(FragmentPayload(h, 0, 4)));
-    EXPECT_FALSE(buf.addFragment(FragmentPayload(h, 2, 4)));
-    EXPECT_TRUE(buf.addFragment(FragmentPayload(h, 1, 4)));
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 3, 4)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 0, 4)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 2, 4)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 1, 4)),
+              RxBuffer::AddResult::Complete);
 }
 
-TEST(RxBufferDeath, DuplicateFragmentPanics)
+TEST(RxBuffer, DuplicateFragmentsIgnoredNotFatal)
 {
+    // Retransmits and fault-layer duplication legitimately replay
+    // fragments; the buffer must absorb them without double-counting.
     MsgHeader h = makeHeader();
     RxBuffer buf(h);
-    buf.addFragment(FragmentPayload(h, 0, 2));
-    EXPECT_DEATH(buf.addFragment(FragmentPayload(h, 0, 2)),
-                 "duplicate fragment");
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 0, 2)),
+              RxBuffer::AddResult::Progress);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 0, 2)),
+              RxBuffer::AddResult::Duplicate);
+    EXPECT_EQ(buf.received(), 1u);
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 1, 2)),
+              RxBuffer::AddResult::Complete);
+    // A replay after completion is still just a duplicate.
+    EXPECT_EQ(buf.addFragment(FragmentPayload(h, 1, 2)),
+              RxBuffer::AddResult::Duplicate);
+    EXPECT_EQ(buf.received(), 2u);
 }
 
 TEST(RxBufferDeath, CorruptChecksumPanics)

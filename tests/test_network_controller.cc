@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "base/random.hh"
+#include "fault/fault_injector.hh"
 #include "net/network_controller.hh"
 #include "stats/stats.hh"
 
@@ -156,6 +158,47 @@ TEST_F(ControllerFixture, ResetClearsCounters)
     controller.reset();
     EXPECT_EQ(controller.totalPackets(), 0u);
     EXPECT_EQ(controller.packetsThisQuantum(), 0u);
+}
+
+TEST_F(ControllerFixture, ResetAlsoClearsTheStatsTree)
+{
+    scheduler.nextKind = DeliveryKind::Straggler;
+    scheduler.extraLateness = 77;
+    controller.inject(makeFrame(0, 1, 100, 0));
+    const auto *packets = dynamic_cast<const stats::Scalar *>(
+        root.find("network.packets"));
+    const auto *stragglers = dynamic_cast<const stats::Scalar *>(
+        root.find("network.stragglers"));
+    ASSERT_NE(packets, nullptr);
+    ASSERT_NE(stragglers, nullptr);
+    EXPECT_EQ(packets->value(), 1.0);
+    EXPECT_EQ(stragglers->value(), 1.0);
+    controller.reset();
+    // Scalars and histograms under the controller's group go back to
+    // zero along with the raw counters, so a rerun starts clean.
+    EXPECT_EQ(packets->value(), 0.0);
+    EXPECT_EQ(stragglers->value(), 0.0);
+    EXPECT_EQ(controller.totalStragglers(), 0u);
+    EXPECT_EQ(controller.totalLatenessTicks(), 0u);
+}
+
+TEST_F(ControllerFixture, ResetRestoresTheFaultLayerToo)
+{
+    fault::FaultParams fp;
+    fp.dropRate = 1.0;
+    fault::FaultInjector faults(4, fp, Rng(9), root);
+    controller.setFaultInjector(&faults);
+    controller.inject(makeFrame(0, 1, 100, 0));
+    EXPECT_EQ(controller.totalDropped(), 1u);
+    EXPECT_EQ(faults.totalDropped(), 1u);
+    const auto *dropped = dynamic_cast<const stats::Scalar *>(
+        root.find("faults.dropped"));
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_EQ(dropped->value(), 1.0);
+    controller.reset();
+    EXPECT_EQ(controller.totalDropped(), 0u);
+    EXPECT_EQ(faults.totalDropped(), 0u);
+    EXPECT_EQ(dropped->value(), 0.0);
 }
 
 TEST_F(ControllerFixture, StoreAndForwardSwitchDelaysThroughPorts)

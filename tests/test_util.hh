@@ -71,6 +71,22 @@ runLambda(std::size_t num_nodes, LambdaWorkload::ProgramFn fn,
     return engine.run(params, workload, *policy);
 }
 
+/**
+ * Like runLambda, but on caller-provided cluster parameters (fault
+ * injection, reliable delivery, custom seeds) and engine options.
+ */
+inline engine::RunResult
+runLambdaCluster(const engine::ClusterParams &params,
+                 LambdaWorkload::ProgramFn fn,
+                 const std::string &policy_spec = "fixed:1us",
+                 engine::EngineOptions options = {})
+{
+    LambdaWorkload workload(std::move(fn));
+    auto policy = core::parsePolicy(policy_spec);
+    engine::SequentialEngine engine(options);
+    return engine.run(params, workload, *policy);
+}
+
 } // namespace aqsim::test
 
 #endif // AQSIM_TESTS_TEST_UTIL_HH

@@ -5,9 +5,16 @@
  *
  *   aqsim_cli --workload nas.is --nodes 8 --policy dyn:1.03:0.02 \
  *             [--class A | --scale S] [--seed N]
- *             [--engine sequential|threaded]
+ *             [--engine sequential|threaded] [--workers K]
  *             [--topology star|ring|mesh|torus|tree] [--hop-latency T]
  *             [--sampling F] [--noise SIGMA]
+ *             [--drop P] [--duplicate P] [--corrupt P]  # fault rates
+ *             [--jitter-rate P --jitter-max T]          # reorder jitter
+ *             [--link-down a-b:FROM:TO[,...]]           # outage windows
+ *             [--node-crash n:FROM:TO[,...]]
+ *             [--node-pause n:FROM:TO[,...]]
+ *             [--reliable] [--retry-timeout T]  # ack + retransmit mode
+ *             [--watchdog SECONDS]     # hang detector (0 = off)
  *             [--baseline]             # also run the 1us ground truth
  *             [--sweep spec1,spec2,...] # compare several policies
  *             [--stats] [--stats-csv]  # dump the statistics tree
@@ -22,6 +29,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -31,6 +39,86 @@ using namespace aqsim;
 
 namespace
 {
+
+/** Split a comma-separated list into its non-empty elements. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    for (std::size_t start = 0; start <= csv.size();) {
+        auto end = csv.find(',', start);
+        if (end == std::string::npos)
+            end = csv.size();
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+/** Parse "<head>:FROM:TO" (times via parseTicks) into head + window. */
+std::string
+parseWindowSpec(const std::string &spec, Tick &from, Tick &to)
+{
+    const auto first = spec.find(':');
+    const auto second =
+        first == std::string::npos ? first : spec.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos)
+        fatal("expected <id>:<from>:<to>, got '%s'", spec.c_str());
+    from = core::parseTicks(spec.substr(first + 1,
+                                        second - first - 1));
+    to = core::parseTicks(spec.substr(second + 1));
+    return spec.substr(0, first);
+}
+
+NodeId
+parseNodeId(const std::string &text, const std::string &spec)
+{
+    char *end = nullptr;
+    const long id = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || id < 0)
+        fatal("bad node id '%s' in '%s'", text.c_str(), spec.c_str());
+    return static_cast<NodeId>(id);
+}
+
+fault::FaultParams
+buildFaultParams(const Args &args)
+{
+    fault::FaultParams faults;
+    faults.dropRate = args.getDouble("drop", 0.0);
+    faults.duplicateRate = args.getDouble("duplicate", 0.0);
+    faults.corruptRate = args.getDouble("corrupt", 0.0);
+    faults.jitterRate = args.getDouble("jitter-rate", 0.0);
+    if (args.has("jitter-max"))
+        faults.maxJitterTicks =
+            core::parseTicks(args.getString("jitter-max", "0"));
+
+    for (const auto &spec :
+         splitList(args.getString("link-down", ""))) {
+        fault::LinkWindow w;
+        const std::string link = parseWindowSpec(spec, w.from, w.to);
+        const auto dash = link.find('-');
+        if (dash == std::string::npos)
+            fatal("expected <a>-<b>:<from>:<to>, got '%s'",
+                  spec.c_str());
+        w.a = parseNodeId(link.substr(0, dash), spec);
+        w.b = parseNodeId(link.substr(dash + 1), spec);
+        faults.linkDown.push_back(w);
+    }
+    for (const auto &spec :
+         splitList(args.getString("node-crash", ""))) {
+        fault::NodeWindow w;
+        w.node = parseNodeId(parseWindowSpec(spec, w.from, w.to), spec);
+        faults.nodeCrash.push_back(w);
+    }
+    for (const auto &spec :
+         splitList(args.getString("node-pause", ""))) {
+        fault::NodeWindow w;
+        w.node = parseNodeId(parseWindowSpec(spec, w.from, w.to), spec);
+        faults.nodePause.push_back(w);
+    }
+    return faults;
+}
 
 engine::ClusterParams
 buildClusterParams(const Args &args, std::size_t nodes,
@@ -54,6 +142,12 @@ buildClusterParams(const Args &args, std::size_t nodes,
         params.samplingCpu = true;
         params.sampling.detailFraction = sampling;
     }
+
+    params.faults = buildFaultParams(args);
+    params.mpiParams.reliable = args.getBool("reliable", false);
+    if (args.has("retry-timeout"))
+        params.mpiParams.retryTimeout =
+            core::parseTicks(args.getString("retry-timeout", "50us"));
     return params;
 }
 
@@ -71,6 +165,9 @@ runOne(const Args &args, workloads::Workload &workload,
     options.recordTimeline = want_timeline;
     if (args.has("noise"))
         options.host.noiseSigma = args.getDouble("noise", 0.25);
+    options.numWorkers =
+        static_cast<std::size_t>(args.getInt("workers", 0));
+    options.watchdogSeconds = args.getDouble("watchdog", 0.0);
 
     cluster_storage = std::make_unique<engine::Cluster>(cluster_params,
                                                         workload);
@@ -99,9 +196,12 @@ main(int argc, char **argv)
 {
     Args args(argc, argv,
               {"workload", "nodes", "policy", "scale", "class", "seed",
-               "engine", "topology", "hop-latency", "sampling",
-               "noise", "baseline", "stats", "stats-csv", "timeline",
-               "trace", "quiet", "debug-flags", "sweep", "check"});
+               "engine", "workers", "topology", "hop-latency",
+               "sampling", "noise", "baseline", "stats", "stats-csv",
+               "timeline", "trace", "quiet", "debug-flags", "sweep",
+               "check", "drop", "duplicate", "corrupt", "jitter-rate",
+               "jitter-max", "link-down", "node-crash", "node-pause",
+               "reliable", "retry-timeout", "watchdog"});
 
     debug::applyEnvironment();
     if (args.has("debug-flags"))

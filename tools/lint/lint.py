@@ -9,8 +9,9 @@ Checks (each file, line numbers reported):
              and never ``#pragma once``
   determinism banned nondeterminism sources outside base/random:
              rand()/srand(), time()/gettimeofday()/clock(),
-             std::random_device (a run must be a pure function of
-             its seed)
+             std::random_device, and the std <random> engines
+             (mt19937 & friends) — a run must be a pure function of
+             its seed, drawn through base/random.hh Rng streams
   naming     snake_case file names, .hh/.cc extensions only,
              no ``using namespace std``
   hygiene    a foo.cc with a sibling foo.hh includes it first;
@@ -42,6 +43,15 @@ BANNED = [
     (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
     (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
     (re.compile(r"\brandom_device\b"), "std::random_device"),
+    # The std <random> engines fork unmanaged streams: seeding and
+    # stream assignment would escape the Rng::fork() discipline that
+    # keeps runs reproducible across engines and worker counts.
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"),
+     "std::default_random_engine"),
+    (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\branlux(24|48)(_base)?\b"), "std::ranlux"),
+    (re.compile(r"\bknuth_b\b"), "std::knuth_b"),
 ]
 
 SNAKE_CASE = re.compile(r"^[a-z0-9_.]+$")
@@ -133,6 +143,10 @@ def findings_for(path: Path, rel: str, text: str):
                     finding(i, "determinism",
                             f"{what} is banned outside base/random "
                             "(runs must be pure functions of the seed)")
+            if re.search(r"#\s*include\s*<random>", line):
+                finding(i, "determinism",
+                        "<random> is banned outside base/random "
+                        "(draw through base/random.hh Rng streams)")
 
         # --- hotpath: the event kernel must stay allocation-free ---
         if in_sim_kernel:
