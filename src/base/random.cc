@@ -139,4 +139,24 @@ Rng::fork(std::uint64_t label)
     return Rng(splitmix64(s));
 }
 
+Rng::State
+Rng::state() const
+{
+    State out;
+    for (int i = 0; i < 4; ++i)
+        out.s[i] = state_[i];
+    out.cachedNormal = cachedNormal_;
+    out.hasCachedNormal = hasCachedNormal_;
+    return out;
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (int i = 0; i < 4; ++i)
+        state_[i] = state.s[i];
+    cachedNormal_ = state.cachedNormal;
+    hasCachedNormal_ = state.hasCachedNormal;
+}
+
 } // namespace aqsim

@@ -76,6 +76,23 @@ class Rng
      */
     Rng fork(std::uint64_t label);
 
+    /**
+     * Complete generator state, exposed as plain data so checkpoints
+     * can persist and restore a stream at its exact position.
+     */
+    struct State
+    {
+        std::uint64_t s[4] = {0, 0, 0, 0};
+        double cachedNormal = 0.0;
+        bool hasCachedNormal = false;
+    };
+
+    /** @return a snapshot of the full generator state. */
+    State state() const;
+
+    /** Restore a snapshot taken with state(). */
+    void setState(const State &state);
+
   private:
     std::uint64_t state_[4];
     double cachedNormal_ = 0.0;

@@ -1,0 +1,232 @@
+#include "ckpt/checkpoint.hh"
+
+#include "core/synchronizer.hh"
+#include "engine/cluster.hh"
+
+namespace aqsim::ckpt
+{
+
+const char *const sectionMeta = "meta";
+const char *const sectionSync = "sync";
+const char *const sectionNodes = "nodes";
+const char *const sectionMpi = "mpi";
+const char *const sectionNet = "net";
+const char *const sectionFault = "fault";
+const char *const sectionWorkload = "workload";
+const char *const sectionEngine = "engine";
+
+namespace
+{
+
+/** Chain-hash every state-section body, in order. */
+std::uint64_t
+sectionsHash(const std::vector<Section> &sections)
+{
+    std::uint64_t h = fnv1a(nullptr, 0);
+    for (const Section &s : sections)
+        h = fnv1a(s.body.data(), s.body.size(), h);
+    return h;
+}
+
+void
+putFaultWindows(Writer &w, const engine::ClusterParams &params)
+{
+    const auto &f = params.faults;
+    w.u32(static_cast<std::uint32_t>(f.linkDown.size()));
+    for (const auto &win : f.linkDown) {
+        w.u32(win.a);
+        w.u32(win.b);
+        w.u64(win.from);
+        w.u64(win.to);
+    }
+    auto put_node_windows = [&w](const auto &windows) {
+        w.u32(static_cast<std::uint32_t>(windows.size()));
+        for (const auto &win : windows) {
+            w.u32(win.node);
+            w.u64(win.from);
+            w.u64(win.to);
+        }
+    };
+    put_node_windows(f.nodeCrash);
+    put_node_windows(f.nodePause);
+}
+
+} // namespace
+
+const std::vector<std::uint8_t> *
+CheckpointImage::find(const std::string &name) const
+{
+    for (const Section &s : sections)
+        if (s.name == name)
+            return &s.body;
+    return nullptr;
+}
+
+std::uint64_t
+configFingerprint(const engine::ClusterParams &params,
+                  const std::string &policy_name,
+                  const std::string &workload_name)
+{
+    Writer w;
+    w.u64(params.numNodes);
+    w.u64(params.seed);
+
+    const auto &nic = params.network.nic;
+    w.u64(nic.txLatency);
+    w.u64(nic.rxLatency);
+    w.f64(nic.bytesPerNs);
+    w.u32(nic.mtu);
+    w.u64(nic.txOverhead);
+    w.boolean(params.network.switchModel != nullptr);
+
+    w.f64(params.cpu.opsPerNs);
+    w.u32(static_cast<std::uint32_t>(params.cpuSpeedFactors.size()));
+    for (double f : params.cpuSpeedFactors)
+        w.f64(f);
+
+    const auto &m = params.mpiParams;
+    w.u64(m.eagerThreshold);
+    w.u64(m.ackWindowBytes);
+    w.u64(m.sendOverhead);
+    w.u64(m.recvOverhead);
+    w.f64(m.copyBytesPerNs);
+    w.u32(m.frameOverhead);
+    w.u32(m.ctrlFrameBytes);
+    w.boolean(m.reliable);
+    w.u64(m.retryTimeout);
+    w.f64(m.retryBackoff);
+    w.u32(m.maxRetries);
+
+    w.boolean(params.samplingCpu);
+    w.f64(params.sampling.detailFraction);
+    w.f64(params.sampling.fastForwardCost);
+    w.f64(params.sampling.timingNoise);
+
+    const auto &f = params.faults;
+    w.f64(f.dropRate);
+    w.f64(f.duplicateRate);
+    w.f64(f.corruptRate);
+    w.f64(f.jitterRate);
+    w.u64(f.maxJitterTicks);
+    putFaultWindows(w, params);
+
+    w.str(policy_name);
+    w.str(workload_name);
+    return w.hash();
+}
+
+CheckpointImage
+buildImage(const engine::Cluster &cluster, const core::Synchronizer &sync,
+           std::uint64_t config_hash, const std::string &engine_name,
+           const std::vector<std::uint8_t> &engine_state)
+{
+    CheckpointImage image;
+    image.quantumIndex = sync.numQuanta();
+    image.quantumStart = sync.quantumStart();
+    image.quantumEnd = sync.quantumEnd();
+    image.configHash = config_hash;
+    image.engine = engine_name;
+
+    auto add = [&image](const char *name, auto &&fill) {
+        Writer w;
+        fill(w);
+        image.sections.push_back(Section{name, w.buffer()});
+    };
+    add(sectionSync, [&](Writer &w) { sync.serialize(w); });
+    add(sectionNodes, [&](Writer &w) { cluster.serializeNodes(w); });
+    add(sectionMpi, [&](Writer &w) { cluster.serializeMpi(w); });
+    add(sectionNet, [&](Writer &w) { cluster.serializeNet(w); });
+    add(sectionFault, [&](Writer &w) { cluster.serializeFault(w); });
+    add(sectionWorkload,
+        [&](Writer &w) { cluster.serializeWorkload(w); });
+    if (!engine_state.empty())
+        image.sections.push_back(Section{sectionEngine, engine_state});
+
+    image.stateHash = sectionsHash(image.sections);
+    return image;
+}
+
+std::vector<std::uint8_t>
+encodeImage(const CheckpointImage &image)
+{
+    Writer meta;
+    meta.u64(image.quantumIndex);
+    meta.u64(image.quantumStart);
+    meta.u64(image.quantumEnd);
+    meta.u64(image.configHash);
+    meta.u64(image.stateHash);
+    meta.str(image.engine);
+
+    std::vector<Section> sections;
+    sections.reserve(image.sections.size() + 1);
+    sections.push_back(Section{sectionMeta, meta.buffer()});
+    for (const Section &s : image.sections)
+        sections.push_back(s);
+    return encodeFile(sections);
+}
+
+bool
+decodeImage(const std::vector<std::uint8_t> &file_image,
+            CheckpointImage &image, CkptError &error)
+{
+    std::vector<Section> sections;
+    if (!decodeFile(file_image, sections, error))
+        return false;
+    if (sections.empty() || sections.front().name != sectionMeta) {
+        error = {sectionMeta, "first section is not \"meta\""};
+        return false;
+    }
+
+    Reader meta(sections.front().body, sectionMeta);
+    image.quantumIndex = meta.u64();
+    image.quantumStart = meta.u64();
+    image.quantumEnd = meta.u64();
+    image.configHash = meta.u64();
+    image.stateHash = meta.u64();
+    image.engine = meta.str();
+    if (!meta.ok()) {
+        error = meta.error();
+        return false;
+    }
+
+    image.sections.assign(sections.begin() + 1, sections.end());
+    const std::uint64_t actual = sectionsHash(image.sections);
+    if (actual != image.stateHash) {
+        error = {sectionMeta,
+                 "state hash mismatch (meta promises another "
+                 "section set than the file holds)"};
+        return false;
+    }
+    return true;
+}
+
+bool
+compareImages(const CheckpointImage &golden,
+              const CheckpointImage &replayed, CkptError &error)
+{
+    if (golden.quantumIndex != replayed.quantumIndex) {
+        error = {sectionMeta, "quantum index differs"};
+        return false;
+    }
+    if (golden.configHash != replayed.configHash) {
+        error = {sectionMeta, "config fingerprint differs"};
+        return false;
+    }
+    for (const Section &g : golden.sections) {
+        const auto *body = replayed.find(g.name);
+        if (!body) {
+            error = {g.name, "section missing from replayed state"};
+            return false;
+        }
+        if (*body != g.body) {
+            error = {g.name,
+                     "replayed state diverges from checkpoint ("
+                     + std::to_string(g.body.size()) + " vs "
+                     + std::to_string(body->size()) + " bytes)"};
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace aqsim::ckpt

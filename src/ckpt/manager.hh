@@ -1,0 +1,119 @@
+/**
+ * @file
+ * On-disk checkpoint lifecycle: periodic writes, rotation, recovery.
+ *
+ * The manager owns a checkpoint directory and a cadence: every N
+ * completed quanta it encodes the current CheckpointImage and writes
+ * it via temp-file + atomic rename, then prunes old files down to the
+ * keep-last budget. Recovery scans the directory newest-first and
+ * falls back to the previous good file when the newest one is torn or
+ * corrupt, so a crash mid-write (or a bit flip on disk) degrades to
+ * an older checkpoint instead of a failed restore.
+ *
+ * The manager also keeps a "panic image": the engine stashes the
+ * encoded boundary snapshot here each quantum, and the watchdog's
+ * dump path writes the stash to "panic.aqc" before the process dies —
+ * giving the post-mortem a restorable state without ever touching
+ * live simulator structures from the watchdog thread.
+ */
+
+#ifndef AQSIM_CKPT_MANAGER_HH
+#define AQSIM_CKPT_MANAGER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+
+namespace aqsim::ckpt
+{
+
+/** Cumulative cost of checkpoint writes in one run. */
+struct CkptWriteStats
+{
+    std::uint64_t written = 0;
+    std::uint64_t bytes = 0;
+    /** Host wall-clock spent encoding + writing, in ns. */
+    double writeNs = 0.0;
+};
+
+/** Writes, rotates and recovers checkpoint files in one directory. */
+class CheckpointManager
+{
+  public:
+    /**
+     * @param dir checkpoint directory (created if missing)
+     * @param every write after every N completed quanta (0 = never)
+     * @param keep_last files retained after rotation (0 = unlimited)
+     */
+    CheckpointManager(std::string dir, std::uint64_t every,
+                      std::size_t keep_last = 2);
+
+    /** @return true if a checkpoint is due after @p quantum_index. */
+    bool due(std::uint64_t quantum_index) const;
+
+    /**
+     * Encode + atomically write @p image, then rotate old files.
+     * @return true on success; failures are I/O errors, not fatal.
+     */
+    bool write(const CheckpointImage &image, CkptError &error);
+
+    /**
+     * Recover the newest decodable checkpoint in the directory.
+     * Corrupt/torn candidates are skipped (recorded in skipped()).
+     *
+     * @param out decoded image
+     * @param path_out file the image came from
+     * @return true if any good checkpoint was found
+     */
+    bool loadBest(CheckpointImage &out, std::string &path_out,
+                  CkptError &error);
+
+    /** Files rejected during the last loadBest(), with reasons. */
+    const std::vector<std::string> &skipped() const { return skipped_; }
+
+    const CkptWriteStats &stats() const { return stats_; }
+    const std::string &dir() const { return dir_; }
+    std::uint64_t every() const { return every_; }
+
+    /** Checkpoint file path for one quantum index. */
+    std::string fileName(std::uint64_t quantum_index) const;
+
+    /** Path of the watchdog panic checkpoint. */
+    std::string panicFileName() const;
+
+    /**
+     * Stash the encoded boundary snapshot for the watchdog (called by
+     * the engine at each quantum boundary; thread-safe).
+     */
+    void stashPanicImage(std::vector<std::uint8_t> encoded);
+
+    /**
+     * Write the stashed panic image to panic.aqc (called from the
+     * watchdog dump path). @return the file path, or "" if no
+     * boundary snapshot was ever stashed or the write failed.
+     */
+    std::string writePanicImage();
+
+  private:
+    /** Delete all but the newest keepLast_ checkpoint files. */
+    void rotate();
+
+    /** Scan dir_ for "ckpt-q*.aqc", sorted newest-first. */
+    std::vector<std::pair<std::uint64_t, std::string>> listFiles() const;
+
+    std::string dir_;
+    std::uint64_t every_;
+    std::size_t keepLast_;
+    CkptWriteStats stats_;
+    std::vector<std::string> skipped_;
+
+    std::mutex panicMutex_;
+    std::vector<std::uint8_t> panicImage_;
+};
+
+} // namespace aqsim::ckpt
+
+#endif // AQSIM_CKPT_MANAGER_HH

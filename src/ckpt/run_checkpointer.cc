@@ -1,0 +1,179 @@
+#include "ckpt/run_checkpointer.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "base/logging.hh"
+#include "core/synchronizer.hh"
+#include "engine/cluster.hh"
+#include "engine/run_result.hh"
+
+namespace aqsim::ckpt
+{
+
+RunCheckpointer::RunCheckpointer(const RunCkptOptions &options,
+                                 const engine::Cluster &cluster,
+                                 const core::Synchronizer &sync,
+                                 std::uint64_t config_hash,
+                                 std::string engine_name)
+    : options_(options), cluster_(cluster), sync_(sync),
+      configHash_(config_hash), engineName_(std::move(engine_name))
+{
+    if (options_.every > 0 && options_.dir.empty())
+        fatal("checkpoint cadence set (every %llu quanta) but no "
+              "checkpoint directory configured",
+              static_cast<unsigned long long>(options_.every));
+    if (!options_.dir.empty())
+        manager_ = std::make_unique<CheckpointManager>(
+            options_.dir, options_.every, options_.keepLast);
+}
+
+RunCheckpointer::~RunCheckpointer() = default;
+
+void
+RunCheckpointer::begin()
+{
+    if (options_.restorePath.empty())
+        return;
+
+    CkptError error;
+    std::error_code ec;
+    if (std::filesystem::is_directory(options_.restorePath, ec)) {
+        // Point --restore at a checkpoint directory and the newest
+        // decodable file wins; torn/corrupt candidates are skipped.
+        CheckpointManager scan(options_.restorePath, 0, 0);
+        if (!scan.loadBest(golden_, goldenPath_, error)) {
+            for (const std::string &reason : scan.skipped())
+                warn("restore: skipped %s", reason.c_str());
+            fatal("restore failed: %s", error.str().c_str());
+        }
+        for (const std::string &reason : scan.skipped())
+            warn("restore: fell back past %s", reason.c_str());
+    } else {
+        std::vector<std::uint8_t> raw;
+        if (!readFile(options_.restorePath, raw, error) ||
+            !decodeImage(raw, golden_, error))
+            fatal("restore failed for %s: %s",
+                  options_.restorePath.c_str(), error.str().c_str());
+        goldenPath_ = options_.restorePath;
+    }
+
+    if (golden_.engine != engineName_)
+        fatal("restore rejected: %s was produced by the %s engine; "
+              "restore with the same engine (this run is %s) — the "
+              "engine-private state section is not portable",
+              goldenPath_.c_str(), golden_.engine.c_str(),
+              engineName_.c_str());
+    if (golden_.configHash != configHash_)
+        fatal("restore rejected: %s was taken under a different "
+              "configuration (fingerprint %016llx, this run is "
+              "%016llx)",
+              goldenPath_.c_str(),
+              static_cast<unsigned long long>(golden_.configHash),
+              static_cast<unsigned long long>(configHash_));
+    restoring_ = true;
+    inform("restoring from %s (quantum %llu, engine %s): replaying "
+           "with %s divergence checking",
+           goldenPath_.c_str(),
+           static_cast<unsigned long long>(golden_.quantumIndex),
+           golden_.engine.c_str(),
+           options_.verifyRestore ? "per-section" : "state-hash");
+}
+
+void
+RunCheckpointer::onQuantumCompleted(
+    const std::vector<std::uint8_t> &engine_state)
+{
+    const std::uint64_t q = sync_.numQuanta();
+    const bool verify_due = restoring_ && restoredFrom_ == 0 &&
+                            q == golden_.quantumIndex;
+    // During replay the quanta up to the golden snapshot would produce
+    // the files already on disk; only new ground is checkpointed.
+    const bool write_due =
+        manager_ && manager_->due(q) &&
+        (!restoring_ || q > golden_.quantumIndex);
+    const bool stash_due = options_.stashForPanic && manager_;
+    if (!verify_due && !write_due && !stash_due)
+        return;
+
+    const CheckpointImage image =
+        buildImage(cluster_, sync_, configHash_, engineName_,
+                   engine_state);
+
+    if (verify_due) {
+        CkptError error;
+        if (options_.verifyRestore) {
+            if (!compareImages(golden_, image, error))
+                fatal("restore divergence at quantum %llu: %s",
+                      static_cast<unsigned long long>(q),
+                      error.str().c_str());
+        } else if (image.stateHash != golden_.stateHash) {
+            fatal("restore divergence at quantum %llu: replayed "
+                  "state hash %016llx != checkpoint %016llx "
+                  "(rerun with verify-restore to localize the "
+                  "diverging section)",
+                  static_cast<unsigned long long>(q),
+                  static_cast<unsigned long long>(image.stateHash),
+                  static_cast<unsigned long long>(golden_.stateHash));
+        }
+        restoredFrom_ = q;
+        inform("restore verified at quantum %llu (state %016llx)",
+               static_cast<unsigned long long>(q),
+               static_cast<unsigned long long>(image.stateHash));
+    }
+
+    if (write_due) {
+        CkptError error;
+        if (!manager_->write(image, error))
+            warn("checkpoint write failed at quantum %llu: %s",
+                 static_cast<unsigned long long>(q),
+                 error.str().c_str());
+    }
+
+    if (stash_due)
+        manager_->stashPanicImage(encodeImage(image));
+}
+
+void
+RunCheckpointer::finish(engine::RunResult &result) const
+{
+    if (manager_) {
+        result.checkpointsWritten = manager_->stats().written;
+        result.checkpointBytes = manager_->stats().bytes;
+        result.checkpointWriteNs = manager_->stats().writeNs;
+    }
+    result.restoredFromQuantum = restoredFrom_;
+    if (restoring_ && restoredFrom_ == 0)
+        fatal("restore never reached quantum %llu (run ended after "
+              "%llu quanta) — the checkpoint belongs to a longer run",
+              static_cast<unsigned long long>(golden_.quantumIndex),
+              static_cast<unsigned long long>(sync_.numQuanta()));
+}
+
+std::string
+RunCheckpointer::panicNote()
+{
+    if (!manager_)
+        return "";
+    char line[160];
+    const CkptWriteStats &s = manager_->stats();
+    std::snprintf(line, sizeof(line),
+                  "  checkpoints: %llu written (%.1f KB, %.2f ms)\n",
+                  static_cast<unsigned long long>(s.written),
+                  s.bytes / 1024.0, s.writeNs * 1e-6);
+    std::string out = line;
+    if (restoredFrom_ > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  restored from quantum %llu\n",
+                      static_cast<unsigned long long>(restoredFrom_));
+        out += line;
+    }
+    const std::string path = manager_->writePanicImage();
+    if (!path.empty())
+        out += "  checkpoint: last quantum boundary written to " +
+               path + "\n";
+    return out;
+}
+
+} // namespace aqsim::ckpt

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-run checkpoint/restore driver shared by both engines.
+ *
+ * The engines own the quantum loop; this class owns everything
+ * checkpoint-shaped inside it. At each quantum boundary (after
+ * Synchronizer::completeQuantum(), i.e. on a consistent cut) the
+ * engine calls onQuantumCompleted() and the driver decides whether to
+ *
+ *  - snapshot + write a periodic checkpoint file,
+ *  - stash the encoded snapshot for the watchdog's panic dump,
+ *  - verify a restore: when the replay reaches the checkpointed
+ *    quantum, the live state is compared against the golden image and
+ *    any divergence fails the run loudly, naming the section.
+ *
+ * Restore is replay-based: guest programs are coroutines (code, not
+ * data), so --restore re-executes deterministically from quantum 0
+ * and uses the checkpoint as a cryptographic-strength tripwire that
+ * the replayed state is bit-identical at the snapshot point.
+ */
+
+#ifndef AQSIM_CKPT_RUN_CHECKPOINTER_HH
+#define AQSIM_CKPT_RUN_CHECKPOINTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/manager.hh"
+
+namespace aqsim::engine
+{
+struct RunResult;
+} // namespace aqsim::engine
+
+namespace aqsim::ckpt
+{
+
+/** Checkpoint/restore slice of the engine options. */
+struct RunCkptOptions
+{
+    /** Write a checkpoint every N completed quanta (0 = never). */
+    std::uint64_t every = 0;
+    /** Checkpoint directory (required when every > 0). */
+    std::string dir;
+    /** Checkpoint file (or directory to auto-pick) to restore from. */
+    std::string restorePath;
+    /** Per-section divergence check instead of hash-only. */
+    bool verifyRestore = false;
+    /** Files kept after rotation (0 = unlimited). */
+    std::size_t keepLast = 2;
+    /** Stash each boundary snapshot for the watchdog panic dump. */
+    bool stashForPanic = false;
+
+    /** @return true if any checkpoint/restore work is configured. */
+    bool
+    enabled() const
+    {
+        return every > 0 || !restorePath.empty() || stashForPanic;
+    }
+};
+
+/** Drives checkpoint writes and restore verification for one run. */
+class RunCheckpointer
+{
+  public:
+    /**
+     * @param config_hash fingerprint of the run configuration
+     *        (configFingerprint()); restores reject a mismatch
+     */
+    RunCheckpointer(const RunCkptOptions &options,
+                    const engine::Cluster &cluster,
+                    const core::Synchronizer &sync,
+                    std::uint64_t config_hash, std::string engine_name);
+    ~RunCheckpointer();
+
+    /**
+     * Load and validate the restore image, if one was requested.
+     * Fatal on an unusable file or a configuration mismatch.
+     */
+    void begin();
+
+    /**
+     * Quantum-boundary hook; call after completeQuantum().
+     *
+     * @param engine_state deterministic engine-private section body
+     *        (empty = omitted)
+     */
+    void
+    onQuantumCompleted(const std::vector<std::uint8_t> &engine_state);
+
+    /** Fold checkpoint/restore stats into the run result. */
+    void finish(engine::RunResult &result) const;
+
+    /**
+     * Watchdog dump hook: persist the last stashed boundary snapshot.
+     * Thread-safe. @return a line for the dump, or "" if nothing to
+     * report.
+     */
+    std::string panicNote();
+
+    /** @return quantum index the run was verified against (0=none). */
+    std::uint64_t restoredFromQuantum() const { return restoredFrom_; }
+
+  private:
+    RunCkptOptions options_;
+    const engine::Cluster &cluster_;
+    const core::Synchronizer &sync_;
+    std::uint64_t configHash_;
+    std::string engineName_;
+
+    std::unique_ptr<CheckpointManager> manager_;
+    /** Golden image loaded by begin() in restore mode. */
+    CheckpointImage golden_;
+    std::string goldenPath_;
+    bool restoring_ = false;
+    std::uint64_t restoredFrom_ = 0;
+};
+
+} // namespace aqsim::ckpt
+
+#endif // AQSIM_CKPT_RUN_CHECKPOINTER_HH

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::core
 {
@@ -155,6 +156,18 @@ AdaptiveQuantumPolicy::clone() const
     return std::make_unique<AdaptiveQuantumPolicy>(params_);
 }
 
+void
+AdaptiveQuantumPolicy::serialize(ckpt::Writer &w) const
+{
+    w.f64(q_);
+}
+
+void
+AdaptiveQuantumPolicy::deserialize(ckpt::Reader &r)
+{
+    q_ = r.f64();
+}
+
 ThresholdAdaptivePolicy::ThresholdAdaptivePolicy(Params params)
     : params_(params), q_(static_cast<double>(params.base.minQuantum))
 {
@@ -206,6 +219,18 @@ ThresholdAdaptivePolicy::clone() const
     return std::make_unique<ThresholdAdaptivePolicy>(params_);
 }
 
+void
+ThresholdAdaptivePolicy::serialize(ckpt::Writer &w) const
+{
+    w.f64(q_);
+}
+
+void
+ThresholdAdaptivePolicy::deserialize(ckpt::Reader &r)
+{
+    q_ = r.f64();
+}
+
 SymmetricAdaptivePolicy::SymmetricAdaptivePolicy(
     AdaptiveQuantumPolicy::Params params)
     : params_(params), q_(static_cast<double>(params.minQuantum))
@@ -249,6 +274,18 @@ std::unique_ptr<QuantumPolicy>
 SymmetricAdaptivePolicy::clone() const
 {
     return std::make_unique<SymmetricAdaptivePolicy>(params_);
+}
+
+void
+SymmetricAdaptivePolicy::serialize(ckpt::Writer &w) const
+{
+    w.f64(q_);
+}
+
+void
+SymmetricAdaptivePolicy::deserialize(ckpt::Reader &r)
+{
+    q_ = r.f64();
 }
 
 std::unique_ptr<QuantumPolicy>

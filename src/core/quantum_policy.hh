@@ -18,6 +18,12 @@
 
 #include "base/types.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::core
 {
 
@@ -47,6 +53,15 @@ class QuantumPolicy
 
     /** Deep copy (each run owns a private policy instance). */
     virtual std::unique_ptr<QuantumPolicy> clone() const = 0;
+
+    /**
+     * Checkpoint support: persist adaptation state (if any). The
+     * policy's configuration is covered by the config fingerprint.
+     */
+    virtual void serialize(ckpt::Writer &) const {}
+
+    /** Restore state persisted by serialize(). */
+    virtual void deserialize(ckpt::Reader &) {}
 };
 
 /** Constant quantum: the classic WWT-style lock-step baseline. */
@@ -95,6 +110,8 @@ class AdaptiveQuantumPolicy : public QuantumPolicy
     void reset() override;
     std::string name() const override;
     std::unique_ptr<QuantumPolicy> clone() const override;
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
 
     const Params &params() const { return params_; }
 
@@ -129,6 +146,8 @@ class ThresholdAdaptivePolicy : public QuantumPolicy
     void reset() override;
     std::string name() const override;
     std::unique_ptr<QuantumPolicy> clone() const override;
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
 
   private:
     Params params_;
@@ -150,6 +169,8 @@ class SymmetricAdaptivePolicy : public QuantumPolicy
     void reset() override;
     std::string name() const override;
     std::unique_ptr<QuantumPolicy> clone() const override;
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
 
   private:
     AdaptiveQuantumPolicy::Params params_;

@@ -3,6 +3,7 @@
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "check/invariants.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::core
 {
@@ -77,6 +78,25 @@ Synchronizer::conservative() const
     const auto *fixed = dynamic_cast<const FixedQuantumPolicy *>(&policy_);
     return fixed &&
            fixed->initialQuantum() <= controller_.minNetworkLatency();
+}
+
+void
+Synchronizer::serialize(ckpt::Writer &w) const
+{
+    w.u64(start_);
+    w.u64(end_);
+    w.u64(stragglerBase_);
+    w.u64(stats_.numQuanta());
+    w.u64(stats_.totalSimTicks());
+    policy_.serialize(w);
+}
+
+std::uint64_t
+Synchronizer::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::core

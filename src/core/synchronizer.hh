@@ -22,6 +22,11 @@
 #include "core/sync_stats.hh"
 #include "net/network_controller.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::core
 {
 
@@ -69,6 +74,18 @@ class Synchronizer
 
     const SyncStats &stats() const { return stats_; }
     std::uint64_t numQuanta() const { return stats_.numQuanta(); }
+
+    /**
+     * Checkpoint support: persist the quantum window, policy
+     * adaptation state, and simulated-time aggregates. Host-time
+     * measurements (wall clock) are deliberately excluded — they are
+     * never bit-identical across runs and would poison the
+     * divergence self-check.
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     QuantumPolicy &policy_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::engine
 {
@@ -144,6 +145,56 @@ Cluster::progressReport() const
         out += line;
     }
     return out;
+}
+
+void
+Cluster::serializeNodes(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(nodes_.size()));
+    for (const auto &n : nodes_)
+        n->serialize(w);
+}
+
+void
+Cluster::serializeMpi(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(endpoints_.size()));
+    for (const auto &ep : endpoints_)
+        ep->serialize(w);
+}
+
+void
+Cluster::serializeNet(ckpt::Writer &w) const
+{
+    controller_->serialize(w);
+}
+
+void
+Cluster::serializeFault(ckpt::Writer &w) const
+{
+    w.boolean(faults_ != nullptr);
+    if (faults_)
+        faults_->serialize(w);
+}
+
+void
+Cluster::serializeWorkload(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(contexts_.size()));
+    for (const auto &ctx : contexts_)
+        ckpt::putRng(w, ctx->rng());
+}
+
+std::uint64_t
+Cluster::stateHash() const
+{
+    ckpt::Writer w;
+    serializeNodes(w);
+    serializeMpi(w);
+    serializeNet(w);
+    serializeFault(w);
+    serializeWorkload(w);
+    return w.hash();
 }
 
 } // namespace aqsim::engine

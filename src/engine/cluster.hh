@@ -25,6 +25,11 @@
 #include "stats/stats.hh"
 #include "workloads/workload.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::engine
 {
 
@@ -94,6 +99,20 @@ class Cluster
      * receives, pending events, clocks).
      */
     std::string progressReport() const;
+
+    /**
+     * Checkpoint support: each method fills one checkpoint section
+     * with the corresponding layer's architectural state (see
+     * docs/checkpoint-restore.md for the section layout).
+     */
+    void serializeNodes(ckpt::Writer &w) const;
+    void serializeMpi(ckpt::Writer &w) const;
+    void serializeNet(ckpt::Writer &w) const;
+    void serializeFault(ckpt::Writer &w) const;
+    void serializeWorkload(ckpt::Writer &w) const;
+
+    /** FNV-1a fingerprint over every serialized section. */
+    std::uint64_t stateHash() const;
 
   private:
     ClusterParams params_;

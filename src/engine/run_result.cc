@@ -22,11 +22,28 @@ RunResult::summary() const
         static_cast<unsigned long long>(packets),
         static_cast<unsigned long long>(stragglers), metric);
     if ((droppedFrames || retransmits) && len > 0 &&
-        static_cast<std::size_t>(len) < sizeof(buf))
-        std::snprintf(buf + len, sizeof(buf) - len,
-                      " dropped=%llu retransmits=%llu",
-                      static_cast<unsigned long long>(droppedFrames),
-                      static_cast<unsigned long long>(retransmits));
+        static_cast<std::size_t>(len) < sizeof(buf)) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len,
+            " dropped=%llu retransmits=%llu",
+            static_cast<unsigned long long>(droppedFrames),
+            static_cast<unsigned long long>(retransmits));
+    }
+    if (checkpointsWritten && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof(buf)) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len,
+            " ckpts=%llu(%.1fKB,%.2fms)",
+            static_cast<unsigned long long>(checkpointsWritten),
+            static_cast<double>(checkpointBytes) / 1024.0,
+            checkpointWriteNs * 1e-6);
+    }
+    if (restoredFromQuantum && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof(buf)) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len, " restored@q%llu",
+            static_cast<unsigned long long>(restoredFromQuantum));
+    }
     return buf;
 }
 

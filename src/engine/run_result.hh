@@ -44,6 +44,17 @@ struct RunResult
     /** Reliable-mode retransmission timeouts across all endpoints. */
     std::uint64_t retransmits = 0;
 
+    /** Checkpoint files written during the run. */
+    std::uint64_t checkpointsWritten = 0;
+    /** Encoded bytes across those files. */
+    std::uint64_t checkpointBytes = 0;
+    /** Host wall-clock spent encoding + writing them, in ns. */
+    double checkpointWriteNs = 0.0;
+    /** Quantum a --restore run was verified against (0 = no restore). */
+    std::uint64_t restoredFromQuantum = 0;
+    /** FNV-1a fingerprint of the final cluster state (0 = not taken). */
+    std::uint64_t finalStateHash = 0;
+
     /** Per-rank application completion ticks. */
     std::vector<Tick> finishTicks;
     /** Per-quantum records (only when timeline recording was on). */

@@ -8,6 +8,8 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
+#include "ckpt/run_checkpointer.hh"
 #include "core/synchronizer.hh"
 #include "engine/watchdog.hh"
 
@@ -25,8 +27,10 @@ class CoSim : public net::DeliveryScheduler
 {
   public:
     CoSim(Cluster &cluster, core::Synchronizer &sync,
-          const EngineOptions &options)
-        : cluster_(cluster), sync_(sync), options_(options)
+          const EngineOptions &options, Watchdog *watchdog,
+          ckpt::RunCheckpointer *checkpointer)
+        : cluster_(cluster), sync_(sync), options_(options),
+          watchdog_(watchdog), checkpointer_(checkpointer)
     {
         Rng host_rng(cluster.params().seed ^ 0x9d5c0fb3ULL);
         const std::size_t n = cluster.numNodes();
@@ -48,22 +52,6 @@ class CoSim : public net::DeliveryScheduler
         const std::uint64_t max_quanta =
             options_.maxQuanta ? options_.maxQuanta : 500'000'000ULL;
 
-        std::unique_ptr<Watchdog> watchdog;
-        if (options_.watchdogSeconds > 0.0) {
-            watchdog = std::make_unique<Watchdog>(
-                options_.watchdogSeconds, [this] {
-                    char head[96];
-                    std::snprintf(
-                        head, sizeof(head),
-                        "  quantum [%llu,%llu)\n",
-                        static_cast<unsigned long long>(
-                            sync_.quantumStart()),
-                        static_cast<unsigned long long>(
-                            sync_.quantumEnd()));
-                    return head + cluster_.progressReport();
-                });
-        }
-
         sync_.begin();
         while (!cluster_.allDone()) {
             if (!cluster_.anyEventPending()) {
@@ -72,8 +60,8 @@ class CoSim : public net::DeliveryScheduler
                       cluster_.progressReport().c_str());
             }
             runQuantum();
-            if (watchdog)
-                watchdog->kick();
+            if (watchdog_)
+                watchdog_->kick();
             if (sync_.numQuanta() > max_quanta)
                 fatal("quantum budget exceeded (%llu); likely "
                       "livelock or mis-sized workload",
@@ -295,11 +283,37 @@ class CoSim : public net::DeliveryScheduler
                       static_cast<unsigned long long>(qe),
                       globalHost_ - quantum_begin);
         sync_.completeQuantum(globalHost_ - quantum_begin);
+        if (checkpointer_)
+            checkpointer_->onQuantumCompleted(engineState());
+    }
+
+    /**
+     * Engine-private checkpoint section: the modeled host-time
+     * co-simulation state. Everything here is deterministic (modeled
+     * host cost, not wall clock), so it participates in the
+     * divergence self-check.
+     */
+    std::vector<std::uint8_t>
+    engineState() const
+    {
+        ckpt::Writer w;
+        w.f64(globalHost_);
+        w.f64(currentHostNs_);
+        w.u32(static_cast<std::uint32_t>(states_.size()));
+        for (const NodeState &s : states_) {
+            s.host.serialize(w);
+            w.f64(s.rate);
+            w.u64(s.simPos);
+            w.f64(s.hostClock);
+        }
+        return w.buffer();
     }
 
     Cluster &cluster_;
     core::Synchronizer &sync_;
     EngineOptions options_;
+    Watchdog *watchdog_;
+    ckpt::RunCheckpointer *checkpointer_;
     std::vector<NodeState> states_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         heap_;
@@ -312,6 +326,8 @@ class CoSim : public net::DeliveryScheduler
 SequentialEngine::SequentialEngine(EngineOptions options)
     : options_(options)
 {}
+
+SequentialEngine::~SequentialEngine() = default;
 
 RunResult
 SequentialEngine::run(const ClusterParams &params,
@@ -328,8 +344,49 @@ SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     core::Synchronizer sync(policy, cluster.controller(),
                             cluster.statsRoot(),
                             options_.recordTimeline);
-    CoSim cosim(cluster, sync, options_);
+
+    ckpt::RunCkptOptions ck;
+    ck.every = options_.checkpointEvery;
+    ck.dir = options_.checkpointDir;
+    ck.restorePath = options_.restorePath;
+    ck.verifyRestore = options_.verifyRestore;
+    ck.keepLast = options_.checkpointKeepLast;
+    ck.stashForPanic =
+        options_.watchdogSeconds > 0.0 && !ck.dir.empty();
+    std::unique_ptr<ckpt::RunCheckpointer> checkpointer;
+    if (ck.enabled()) {
+        checkpointer = std::make_unique<ckpt::RunCheckpointer>(
+            ck, cluster, sync,
+            ckpt::configFingerprint(cluster.params(), policy.name(),
+                                    cluster.workload().name()),
+            "sequential");
+        checkpointer->begin();
+    }
+
+    Watchdog *watchdog = nullptr;
+    if (options_.watchdogSeconds > 0.0) {
+        if (!watchdog_)
+            watchdog_ =
+                std::make_unique<Watchdog>(options_.watchdogSeconds);
+        watchdog_->arm([&cluster, &sync, ckpt = checkpointer.get()] {
+            char head[96];
+            std::snprintf(head, sizeof(head), "  quantum [%llu,%llu)\n",
+                          static_cast<unsigned long long>(
+                              sync.quantumStart()),
+                          static_cast<unsigned long long>(
+                              sync.quantumEnd()));
+            std::string out = head + cluster.progressReport();
+            if (ckpt)
+                out += ckpt->panicNote();
+            return out;
+        });
+        watchdog = watchdog_.get();
+    }
+
+    CoSim cosim(cluster, sync, options_, watchdog, checkpointer.get());
     const HostNs host_ns = cosim.execute();
+    if (watchdog)
+        watchdog->disarm();
 
     RunResult result;
     result.workload = cluster.workload().name();
@@ -350,6 +407,9 @@ SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     result.retransmits = cluster.totalRetransmits();
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
+    result.finalStateHash = cluster.stateHash();
+    if (checkpointer)
+        checkpointer->finish(result);
     return result;
 }
 

@@ -20,6 +20,8 @@
 #define AQSIM_ENGINE_SEQUENTIAL_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/quantum_policy.hh"
 #include "engine/cluster.hh"
@@ -29,6 +31,8 @@
 
 namespace aqsim::engine
 {
+
+class Watchdog;
 
 /**
  * What to do with a straggler (a packet whose receiver has already
@@ -78,6 +82,27 @@ struct EngineOptions
      * coroutine). 0 = watchdog disabled.
      */
     double watchdogSeconds = 0.0;
+
+    /**
+     * Write a checkpoint after every N completed quanta (0 = never).
+     * Requires checkpointDir. See docs/checkpoint-restore.md.
+     */
+    std::uint64_t checkpointEvery = 0;
+    /** Directory for checkpoint files (created if missing). */
+    std::string checkpointDir;
+    /**
+     * Checkpoint file — or directory, newest good file wins — to
+     * restore from: the run replays deterministically and is verified
+     * against the checkpointed state at its quantum.
+     */
+    std::string restorePath;
+    /**
+     * Restore self-check granularity: per-section byte comparison
+     * (names the diverging section) instead of hash-only.
+     */
+    bool verifyRestore = false;
+    /** Checkpoint files kept after rotation (0 = unlimited). */
+    std::size_t checkpointKeepLast = 2;
 };
 
 /** Deterministic host-time co-simulating engine. */
@@ -85,6 +110,7 @@ class SequentialEngine
 {
   public:
     explicit SequentialEngine(EngineOptions options = {});
+    ~SequentialEngine(); // out-of-line: Watchdog is incomplete here
 
     /**
      * Run @p workload on a cluster built from @p params under
@@ -102,8 +128,18 @@ class SequentialEngine
 
     const EngineOptions &options() const { return options_; }
 
+    /** Engine-owned watchdog (armed per run; tests). */
+    Watchdog *watchdog() { return watchdog_.get(); }
+
   private:
     EngineOptions options_;
+    /**
+     * One watchdog thread for the engine's lifetime, re-armed per
+     * run() with that run's dump callback (a fresh per-run watchdog
+     * would also work, but a reused engine must not carry a stale
+     * kick count or a dump capturing dead objects between runs).
+     */
+    std::unique_ptr<Watchdog> watchdog_;
 };
 
 } // namespace aqsim::engine

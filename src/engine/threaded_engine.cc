@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "check/invariants.hh"
+#include "ckpt/run_checkpointer.hh"
 #include "core/synchronizer.hh"
 #include "engine/watchdog.hh"
 #include "engine/worker_pool.hh"
@@ -269,6 +270,8 @@ ThreadedEngine::ThreadedEngine(EngineOptions options)
     : options_(options)
 {}
 
+ThreadedEngine::~ThreadedEngine() = default;
+
 RunResult
 ThreadedEngine::run(const ClusterParams &params,
                     workloads::Workload &workload,
@@ -301,22 +304,46 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
             runNodeQuantum(cluster.node(id), mailboxes[id], qe);
     });
 
+    ckpt::RunCkptOptions ck;
+    ck.every = options_.checkpointEvery;
+    ck.dir = options_.checkpointDir;
+    ck.restorePath = options_.restorePath;
+    ck.verifyRestore = options_.verifyRestore;
+    ck.keepLast = options_.checkpointKeepLast;
+    ck.stashForPanic =
+        options_.watchdogSeconds > 0.0 && !ck.dir.empty();
+    std::unique_ptr<ckpt::RunCheckpointer> checkpointer;
+    if (ck.enabled()) {
+        checkpointer = std::make_unique<ckpt::RunCheckpointer>(
+            ck, cluster, sync,
+            ckpt::configFingerprint(cluster.params(), policy.name(),
+                                    cluster.workload().name()),
+            "threaded");
+        checkpointer->begin();
+    }
+
     // The watchdog catches hangs the deadlock check cannot see:
     // quanta that never finish (wedged worker, runaway coroutine) and
     // lost-progress livelocks where events stay pending forever.
-    std::unique_ptr<Watchdog> watchdog;
+    // Engine-owned and re-armed per run (fresh kick count and dump).
+    Watchdog *watchdog = nullptr;
     if (options_.watchdogSeconds > 0.0) {
-        watchdog = std::make_unique<Watchdog>(
-            options_.watchdogSeconds, [&cluster, &sync] {
-                char head[96];
-                std::snprintf(head, sizeof(head),
-                              "  quantum [%llu,%llu)\n",
-                              static_cast<unsigned long long>(
-                                  sync.quantumStart()),
-                              static_cast<unsigned long long>(
-                                  sync.quantumEnd()));
-                return head + cluster.progressReport();
-            });
+        if (!watchdog_)
+            watchdog_ =
+                std::make_unique<Watchdog>(options_.watchdogSeconds);
+        watchdog_->arm([&cluster, &sync, ckpt = checkpointer.get()] {
+            char head[96];
+            std::snprintf(head, sizeof(head), "  quantum [%llu,%llu)\n",
+                          static_cast<unsigned long long>(
+                              sync.quantumStart()),
+                          static_cast<unsigned long long>(
+                              sync.quantumEnd()));
+            std::string out = head + cluster.progressReport();
+            if (ckpt)
+                out += ckpt->panicNote();
+            return out;
+        });
+        watchdog = watchdog_.get();
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -342,6 +369,13 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                 .count();
         quantum_start_wall = now_wall;
         sync.completeQuantum(quantum_ns);
+        // Coordinator-only snapshot: all workers are parked at the
+        // barrier and the mailboxes are drained, so the cut is
+        // identical for every worker count. No engine-private section:
+        // this engine's only extra state is measured wall-clock, which
+        // must not enter the divergence check.
+        if (checkpointer)
+            checkpointer->onQuantumCompleted({});
         if (sync.numQuanta() > max_quanta)
             fatal("quantum budget exceeded (%llu)",
                   static_cast<unsigned long long>(max_quanta));
@@ -354,6 +388,8 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                                std::chrono::steady_clock::now() -
                                wall_start)
                                .count();
+    if (watchdog)
+        watchdog->disarm();
 
     RunResult result;
     result.workload = cluster.workload().name();
@@ -374,6 +410,9 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     result.retransmits = cluster.totalRetransmits();
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
+    result.finalStateHash = cluster.stateHash();
+    if (checkpointer)
+        checkpointer->finish(result);
     return result;
     // `pool` is destroyed on return: a stop epoch is released and the
     // workers join before `mailboxes`/`scheduler` go out of scope.

@@ -8,7 +8,15 @@ namespace aqsim::engine
 {
 
 Watchdog::Watchdog(double deadline_seconds, DumpFn dump)
-    : deadlineSeconds_(deadline_seconds), dump_(std::move(dump))
+    : deadlineSeconds_(deadline_seconds), dump_(std::move(dump)),
+      armed_(true)
+{
+    AQSIM_ASSERT(deadline_seconds > 0.0);
+    thread_ = std::thread([this] { monitor(); });
+}
+
+Watchdog::Watchdog(double deadline_seconds)
+    : deadlineSeconds_(deadline_seconds)
 {
     AQSIM_ASSERT(deadline_seconds > 0.0);
     thread_ = std::thread([this] { monitor(); });
@@ -22,6 +30,35 @@ Watchdog::~Watchdog()
     }
     cv_.notify_all();
     thread_.join();
+}
+
+void
+Watchdog::arm(DumpFn dump)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dump_ = std::move(dump);
+        kickCount_ = 0;
+        armed_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+Watchdog::disarm()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_ = false;
+    }
+    cv_.notify_all();
+}
+
+bool
+Watchdog::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return armed_;
 }
 
 void
@@ -46,16 +83,18 @@ Watchdog::monitor()
 {
     const auto deadline = std::chrono::duration<double>(deadlineSeconds_);
     std::unique_lock<std::mutex> lock(mutex_);
-    std::uint64_t last_seen = kickCount_;
     while (!stop_) {
-        // Wake on every kick (or stop); declare a hang only when a
-        // full deadline passes with the kick counter frozen.
-        if (cv_.wait_for(lock, deadline, [&] {
-                return stop_ || kickCount_ != last_seen;
-            })) {
-            last_seen = kickCount_;
+        if (!armed_) {
+            cv_.wait(lock, [&] { return stop_ || armed_; });
             continue;
         }
+        // Wake on every kick (or stop/disarm); declare a hang only
+        // when a full deadline passes with the kick counter frozen.
+        const std::uint64_t last_seen = kickCount_;
+        if (cv_.wait_for(lock, deadline, [&] {
+                return stop_ || !armed_ || kickCount_ != last_seen;
+            }))
+            continue;
         // Timed out with no progress: fail the run loudly. The dump
         // callback reads engine state that is by definition not
         // advancing, so tearing is unlikely; a garbled dump from a

@@ -39,7 +39,7 @@ class Watchdog
     using DumpFn = std::function<std::string()>;
 
     /**
-     * Arm the watchdog.
+     * Construct armed (watching immediately).
      *
      * @param deadline_seconds max host seconds between kicks
      * @param dump called (from the watchdog thread) to describe the
@@ -48,16 +48,37 @@ class Watchdog
      */
     Watchdog(double deadline_seconds, DumpFn dump);
 
+    /**
+     * Construct disarmed: the monitor thread idles until arm().
+     * This is the engine-owned shape — one watchdog reused across
+     * run() calls, re-armed per run with that run's dump callback, so
+     * a hang in run N can never fire a dump that captures objects of
+     * run N-1 (nor inherit its stale kick count).
+     */
+    explicit Watchdog(double deadline_seconds);
+
     Watchdog(const Watchdog &) = delete;
     Watchdog &operator=(const Watchdog &) = delete;
 
     /** Disarm and join the monitor thread. */
     ~Watchdog();
 
+    /**
+     * (Re-)arm for a new run: zero the kick count, install this run's
+     * dump callback, restart the deadline window.
+     */
+    void arm(DumpFn dump);
+
+    /** Stop watching; kicks still count, but no deadline runs. */
+    void disarm();
+
+    /** @return true while the deadline is being enforced. */
+    bool armed() const;
+
     /** Record progress: one quantum completed. */
     void kick();
 
-    /** Number of kicks observed (tests). */
+    /** Number of kicks observed since the last arm() (tests). */
     std::uint64_t kicks() const;
 
   private:
@@ -70,6 +91,7 @@ class Watchdog
     std::condition_variable cv_;
     std::uint64_t kickCount_ = 0;
     bool stop_ = false;
+    bool armed_ = false;
 
     std::thread thread_;
 };

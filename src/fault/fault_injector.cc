@@ -1,6 +1,7 @@
 #include "fault/fault_injector.hh"
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::fault
 {
@@ -160,6 +161,44 @@ FaultInjector::decide(NodeId src, NodeId dst, Tick depart_tick)
         }
     }
     return d;
+}
+
+void
+FaultInjector::serialize(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(linkRng_.size()));
+    for (const Rng &rng : linkRng_)
+        ckpt::putRng(w, rng);
+    w.u64(totalDropped_);
+    w.u64(totalDuplicated_);
+    w.u64(totalCorrupted_);
+    w.u64(totalDelayed_);
+}
+
+void
+FaultInjector::deserialize(ckpt::Reader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (!r.ok())
+        return;
+    if (n != linkRng_.size()) {
+        r.fail("fault link-stream count mismatch");
+        return;
+    }
+    for (Rng &rng : linkRng_)
+        ckpt::getRng(r, rng);
+    totalDropped_ = r.u64();
+    totalDuplicated_ = r.u64();
+    totalCorrupted_ = r.u64();
+    totalDelayed_ = r.u64();
+}
+
+std::uint64_t
+FaultInjector::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::fault

@@ -29,6 +29,12 @@
 #include "base/types.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::fault
 {
 
@@ -116,6 +122,19 @@ class FaultInjector
 
     /** Restore the initial stream states so reruns are identical. */
     void reset();
+
+    /**
+     * Checkpoint support: persist every per-link PRNG stream position
+     * and the fault counters. The scheduled windows live in params_
+     * (configuration, covered by the config fingerprint).
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** Restore state persisted by serialize(). */
+    void deserialize(ckpt::Reader &r);
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
     const FaultParams &params() const { return params_; }
 

@@ -4,6 +4,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::mpi
 {
@@ -708,6 +709,98 @@ Endpoint::erasePendingRtsOrder(Rank src, std::uint64_t seq)
                         std::make_pair(src, seq));
     AQSIM_ASSERT(it != pendingRtsOrder_.end());
     pendingRtsOrder_.erase(it);
+}
+
+void
+Endpoint::serialize(ckpt::Writer &w) const
+{
+    w.u32(rank_);
+    w.u64(numRanks_);
+
+    w.u32(static_cast<std::uint32_t>(sendSeq_.size()));
+    for (std::uint64_t seq : sendSeq_)
+        w.u64(seq);
+    w.u64(nextMsgId_);
+    w.i32(collectiveTagCounter_);
+
+    w.u32(static_cast<std::uint32_t>(rxBuffers_.size()));
+    for (const auto &[msg_id, rx] : rxBuffers_)
+        rx.serialize(w);
+
+    w.u32(static_cast<std::uint32_t>(unexpectedOrder_.size()));
+    for (const auto &[src, seq] : unexpectedOrder_) {
+        w.u32(src);
+        w.u64(seq);
+        auto it = unexpectedBySrc_[src].find(seq);
+        AQSIM_ASSERT(it != unexpectedBySrc_[src].end());
+        it->second.serialize(w);
+    }
+
+    w.u32(static_cast<std::uint32_t>(pendingRtsOrder_.size()));
+    for (const auto &[src, seq] : pendingRtsOrder_) {
+        w.u32(src);
+        w.u64(seq);
+        auto it = pendingRts_[src].find(seq);
+        AQSIM_ASSERT(it != pendingRts_[src].end());
+        it->second.serialize(w);
+    }
+
+    // Posted receives: the match pattern and rendezvous binding are
+    // state; the suspended coroutine itself is reconstructed by replay.
+    w.u32(static_cast<std::uint32_t>(posted_.size()));
+    for (const PostedRecv &rec : posted_) {
+        w.i32(rec.src);
+        w.i32(rec.tag);
+        w.u64(rec.boundMsgId);
+    }
+
+    w.u32(static_cast<std::uint32_t>(ctsWaiters_.size()));
+    for (const auto &[msg_id, trig] : ctsWaiters_)
+        w.u64(msg_id);
+
+    w.u32(static_cast<std::uint32_t>(ackWaiters_.size()));
+    for (const auto &[msg_id, waiter] : ackWaiters_) {
+        w.u64(msg_id);
+        w.u32(waiter.expected);
+    }
+
+    w.u32(static_cast<std::uint32_t>(ackProgress_.size()));
+    for (const auto &[msg_id, count] : ackProgress_) {
+        w.u64(msg_id);
+        w.u32(count);
+    }
+
+    // Retry table: everything but the raw timer event id (a slab
+    // handle; its firing tick is already captured by the event queue).
+    w.u32(static_cast<std::uint32_t>(txRetry_.size()));
+    for (const auto &[msg_id, st] : txRetry_) {
+        st.header.serialize(w);
+        w.u32(st.numFrags);
+        w.u32(st.winFirst);
+        w.u32(st.winLast);
+        w.boolean(st.awaitingCts);
+        w.u32(st.retries);
+        w.u64(st.timeout);
+        w.boolean(st.timer != sim::EventQueue::invalidEvent);
+    }
+
+    w.u32(static_cast<std::uint32_t>(deliveredMsgIds_.size()));
+    for (std::uint64_t msg_id : deliveredMsgIds_)
+        w.u64(msg_id);
+
+    w.u64(messagesSent_);
+    w.u64(messagesReceived_);
+    w.u64(rendezvousCount_);
+    w.u64(retransmits_);
+    w.u64(corruptDropped_);
+}
+
+std::uint64_t
+Endpoint::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::mpi

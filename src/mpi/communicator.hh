@@ -37,6 +37,11 @@
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::mpi
 {
 
@@ -211,6 +216,19 @@ class Endpoint
     std::uint64_t messagesSent() const { return messagesSent_; }
     std::uint64_t messagesReceived() const { return messagesReceived_; }
     std::uint64_t rendezvousCount() const { return rendezvousCount_; }
+
+    /**
+     * Checkpoint support: persist the full protocol state — sequence
+     * counters, reassembly buffers, unexpected/pending queues, posted
+     * match patterns, rendezvous and flow-control waiter sets, and the
+     * reliable-delivery retry table. Coroutine handles and event ids
+     * are code, not data; they are reconstructed by deterministic
+     * replay and this serialization drives the divergence self-check.
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
     /** Retransmission events fired in reliable mode. */
     std::uint64_t retransmits() const { return retransmits_; }

@@ -1,6 +1,7 @@
 #include "mpi/message.hh"
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::mpi
 {
@@ -43,6 +44,39 @@ bool
 MsgHeader::verify() const
 {
     return checksum == expectedChecksum();
+}
+
+void
+MsgHeader::serialize(ckpt::Writer &w) const
+{
+    w.u64(msgId);
+    w.u32(src);
+    w.u32(dst);
+    w.i32(tag);
+    w.u64(bytes);
+    w.u64(seq);
+    w.u64(sendTick);
+    w.u64(checksum);
+}
+
+void
+Message::serialize(ckpt::Writer &w) const
+{
+    w.u32(src);
+    w.i32(tag);
+    w.u64(bytes);
+    w.u64(completedAt);
+    w.u64(sentAt);
+}
+
+void
+RxBuffer::serialize(ckpt::Writer &w) const
+{
+    header_.serialize(w);
+    w.u32(numFrags_);
+    w.u32(received_);
+    for (std::uint32_t i = 0; i < numFrags_; ++i)
+        w.boolean(seen_[i]);
 }
 
 RxBuffer::RxBuffer(const MsgHeader &header)

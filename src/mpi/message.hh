@@ -18,6 +18,11 @@
 #include "base/types.hh"
 #include "net/packet.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::mpi
 {
 
@@ -51,6 +56,9 @@ struct MsgHeader
 
     /** @return true if the checksum matches the identity fields. */
     bool verify() const;
+
+    /** Checkpoint support: persist all identity fields. */
+    void serialize(ckpt::Writer &w) const;
 };
 
 /** One data fragment of a segmented message. */
@@ -129,6 +137,9 @@ struct Message
     {
         return completedAt - sentAt;
     }
+
+    /** Checkpoint support. */
+    void serialize(ckpt::Writer &w) const;
 };
 
 /**
@@ -161,6 +172,9 @@ class RxBuffer
     const MsgHeader &header() const { return header_; }
     std::uint32_t received() const { return received_; }
     std::uint32_t expected() const { return numFrags_; }
+
+    /** Checkpoint support: header + fragment bitmap. */
+    void serialize(ckpt::Writer &w) const;
 
   private:
     MsgHeader header_;

@@ -5,6 +5,7 @@
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "check/invariants.hh"
+#include "ckpt/ckpt_io.hh"
 #include "fault/fault_injector.hh"
 
 namespace aqsim::net
@@ -201,6 +202,12 @@ NetworkController::deliverOne(const PacketPtr &pkt, Tick extra_delay,
 void
 NetworkController::reset()
 {
+    // Drop the previous run's scheduler binding: the engine-side
+    // scheduler object dies when run() returns, so carrying the
+    // pointer across a reset turns the first inject of a re-run
+    // without an engine into a dangling call. Each engine installs a
+    // fresh scheduler at run start.
+    scheduler_ = nullptr;
     switch_->reset();
     nextPacketId_ = 1;
     packetsThisQuantum_ = 0;
@@ -213,6 +220,40 @@ NetworkController::reset()
     statsGroup_.resetAll();
     if (faults_)
         faults_->reset();
+}
+
+void
+NetworkController::serialize(ckpt::Writer &w) const
+{
+    w.u64(nextPacketId_);
+    w.u64(packetsThisQuantum_);
+    w.u64(totalPackets_);
+    w.u64(totalStragglers_);
+    w.u64(totalNextQuantum_);
+    w.u64(totalLatenessTicks_);
+    w.u64(totalDropped_);
+    switch_->serialize(w);
+}
+
+void
+NetworkController::deserialize(ckpt::Reader &r)
+{
+    nextPacketId_ = r.u64();
+    packetsThisQuantum_ = r.u64();
+    totalPackets_ = r.u64();
+    totalStragglers_ = r.u64();
+    totalNextQuantum_ = r.u64();
+    totalLatenessTicks_ = r.u64();
+    totalDropped_ = r.u64();
+    switch_->deserialize(r);
+}
+
+std::uint64_t
+NetworkController::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::net

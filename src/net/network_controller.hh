@@ -30,6 +30,12 @@
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::fault
 {
 class FaultInjector;
@@ -125,6 +131,9 @@ class NetworkController
     /** Bind the engine's delivery scheduler (required before inject). */
     void setScheduler(DeliveryScheduler *scheduler);
 
+    /** Currently bound scheduler (nullptr after reset; tests). */
+    DeliveryScheduler *scheduler() const { return scheduler_; }
+
     /**
      * Interpose a fault injector between the NICs and the switch
      * (nullptr = perfect network). The controller consults it for every
@@ -179,6 +188,20 @@ class NetworkController
 
     /** Reset all per-run state (switch ports, counters). */
     void reset();
+
+    /**
+     * Checkpoint support. Frames are routed to destination event
+     * queues at injection time, so at a quantum boundary the
+     * controller holds no in-flight frames of its own — only the
+     * packet-id counter, routing counters and switch port occupancy.
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** Restore state persisted by serialize(). */
+    void deserialize(ckpt::Reader &r);
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     /** Route a single unicast frame (fault decisions + delivery). */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::net
 {
@@ -34,6 +35,28 @@ void
 StoreAndForwardSwitch::reset()
 {
     std::fill(portBusyUntil_.begin(), portBusyUntil_.end(), 0);
+}
+
+void
+StoreAndForwardSwitch::serialize(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(portBusyUntil_.size()));
+    for (Tick t : portBusyUntil_)
+        w.u64(t);
+}
+
+void
+StoreAndForwardSwitch::deserialize(ckpt::Reader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (!r.ok())
+        return;
+    if (n != portBusyUntil_.size()) {
+        r.fail("switch port count mismatch");
+        return;
+    }
+    for (Tick &t : portBusyUntil_)
+        t = r.u64();
 }
 
 } // namespace aqsim::net

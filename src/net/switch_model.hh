@@ -21,6 +21,12 @@
 
 #include "base/types.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::net
 {
 
@@ -57,6 +63,12 @@ class SwitchModel
 
     /** Reset per-port state between runs. */
     virtual void reset() {}
+
+    /** Checkpoint support: persist per-port timing state (if any). */
+    virtual void serialize(ckpt::Writer &) const {}
+
+    /** Restore state persisted by serialize(). */
+    virtual void deserialize(ckpt::Reader &) {}
 };
 
 /** Zero-latency, infinite-bandwidth switch (the paper's setup). */
@@ -94,6 +106,9 @@ class StoreAndForwardSwitch : public SwitchModel
     Tick minTraversal() const override { return traversal_; }
 
     void reset() override;
+
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
 
   private:
     double bytesPerNs_;

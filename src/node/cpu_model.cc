@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::node
 {
@@ -12,6 +13,26 @@ CpuModel::endCompute()
 {
     AQSIM_ASSERT(computeDepth_ > 0);
     --computeDepth_;
+}
+
+void
+CpuModel::serialize(ckpt::Writer &w) const
+{
+    w.u32(computeDepth_);
+}
+
+void
+CpuModel::deserialize(ckpt::Reader &r)
+{
+    computeDepth_ = r.u32();
+}
+
+std::uint64_t
+CpuModel::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 SimpleCpuModel::SimpleCpuModel(CpuParams params) : params_(params)
@@ -50,6 +71,22 @@ double
 SamplingCpuModel::hostDetailFactor() const
 {
     return inDetail_ ? 1.0 : params_.fastForwardCost;
+}
+
+void
+SamplingCpuModel::serialize(ckpt::Writer &w) const
+{
+    CpuModel::serialize(w);
+    ckpt::putRng(w, rng_);
+    w.boolean(inDetail_);
+}
+
+void
+SamplingCpuModel::deserialize(ckpt::Reader &r)
+{
+    CpuModel::deserialize(r);
+    ckpt::getRng(r, rng_);
+    inDetail_ = r.boolean();
 }
 
 } // namespace aqsim::node

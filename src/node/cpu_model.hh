@@ -25,6 +25,12 @@
 #include "base/random.hh"
 #include "base/types.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::node
 {
 
@@ -65,6 +71,15 @@ class CpuModel
 
     /** @return true while at least one compute burst is in flight. */
     bool busy() const { return computeDepth_ > 0; }
+
+    /** Checkpoint support: persist the timing-model state. */
+    virtual void serialize(ckpt::Writer &w) const;
+
+    /** Restore state persisted by serialize(). */
+    virtual void deserialize(ckpt::Reader &r);
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     std::uint32_t computeDepth_ = 0;
@@ -108,6 +123,8 @@ class SamplingCpuModel : public CpuModel
 
     Tick computeLatency(double ops) override;
     double hostDetailFactor() const override;
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
 
   private:
     Params params_;

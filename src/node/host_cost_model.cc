@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::node
 {
@@ -44,6 +45,30 @@ HostCostModel::rate(bool busy, double detail_factor) const
     const double base = params_.busySlowdownNsPerTick *
                         (busy ? 1.0 : params_.idleFactor);
     return std::max(1e-6, base * factor_ * detail_factor);
+}
+
+void
+HostCostModel::serialize(ckpt::Writer &w) const
+{
+    ckpt::putRng(w, rng_);
+    w.f64(factor_);
+    w.f64(logState_);
+}
+
+void
+HostCostModel::deserialize(ckpt::Reader &r)
+{
+    ckpt::getRng(r, rng_);
+    factor_ = r.f64();
+    logState_ = r.f64();
+}
+
+std::uint64_t
+HostCostModel::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::node

@@ -36,6 +36,12 @@
 #include "base/random.hh"
 #include "base/types.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::node
 {
 
@@ -111,6 +117,15 @@ class HostCostModel
     double currentFactor() const { return factor_; }
 
     const HostCostParams &params() const { return params_; }
+
+    /** Checkpoint support: persist noise stream + AR(1) state. */
+    void serialize(ckpt::Writer &w) const;
+
+    /** Restore state persisted by serialize(). */
+    void deserialize(ckpt::Reader &r);
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     HostCostParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::node
 {
@@ -62,6 +63,26 @@ NicModel::deliverAt(const net::PacketPtr &pkt, Tick when)
                 rxHandler_(pkt);
         },
         sim::Priority::Delivery);
+}
+
+void
+NicModel::serialize(ckpt::Writer &w) const
+{
+    w.u64(txBusyUntil_);
+}
+
+void
+NicModel::deserialize(ckpt::Reader &r)
+{
+    txBusyUntil_ = r.u64();
+}
+
+std::uint64_t
+NicModel::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::node

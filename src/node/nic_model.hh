@@ -26,6 +26,12 @@
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::ckpt
+{
+class Reader;
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::node
 {
 
@@ -67,6 +73,15 @@ class NicModel
 
     /** Tick until which the transmitter is busy serializing. */
     Tick txBusyUntil() const { return txBusyUntil_; }
+
+    /** Checkpoint support: persist the transmit-side timing state. */
+    void serialize(ckpt::Writer &w) const;
+
+    /** Restore state persisted by serialize(). */
+    void deserialize(ckpt::Reader &r);
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
     /** Shared NIC timing parameters (from the controller config). */
     const net::NicParams &

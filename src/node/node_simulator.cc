@@ -3,6 +3,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::node
 {
@@ -27,6 +28,25 @@ NodeSimulator::setProgram(sim::Process program)
         appFinishTick_ = queue_.now();
     });
     queue_.schedule(0, [this] { program_.start(); });
+}
+
+void
+NodeSimulator::serialize(ckpt::Writer &w) const
+{
+    w.u32(id_);
+    w.boolean(appDone_);
+    w.u64(appFinishTick_);
+    queue_.serialize(w);
+    cpu_->serialize(w);
+    nic_.serialize(w);
+}
+
+std::uint64_t
+NodeSimulator::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::node

@@ -21,6 +21,11 @@
 #include "sim/process.hh"
 #include "stats/stats.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::node
 {
 
@@ -57,6 +62,18 @@ class NodeSimulator
 
     /** @return tick at which the guest program completed. */
     Tick appFinishTick() const { return appFinishTick_; }
+
+    /**
+     * Checkpoint support: persist the node's architectural state
+     * (clock + pending-event structure + CPU + NIC + app progress).
+     * The guest coroutine frame itself is code, not data; on restore
+     * it is reconstructed by deterministic replay and this
+     * serialization drives the divergence self-check.
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     NodeId id_;

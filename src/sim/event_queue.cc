@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "check/invariants.hh"
+#include "ckpt/ckpt_io.hh"
 
 namespace aqsim::sim
 {
@@ -194,6 +195,43 @@ EventQueue::fastForwardTo(Tick when)
     AQSIM_ASSERT(when >= now_);
     AQSIM_ASSERT(nextTick() >= when);
     now_ = when;
+}
+
+void
+EventQueue::serialize(ckpt::Writer &w) const
+{
+    w.u64(now_);
+    w.u64(nextSeq_);
+    w.u64(numScheduled_);
+    w.u64(numExecuted_);
+    w.u64(numCancelled_);
+
+    // Live entries only, in the queue's own deterministic execution
+    // order; the heap array layout is an implementation artifact and
+    // must not leak into the fingerprint.
+    std::vector<HeapEntry> live;
+    live.reserve(numLive_);
+    for (const HeapEntry &e : heap_)
+        if (recordAt(e.slot)->gen == e.gen)
+            live.push_back(e);
+    std::sort(live.begin(), live.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return a.before(b);
+              });
+    w.u32(static_cast<std::uint32_t>(live.size()));
+    for (const HeapEntry &e : live) {
+        w.u64(e.when);
+        w.i32(e.prio);
+        w.u64(e.seq);
+    }
+}
+
+std::uint64_t
+EventQueue::stateHash() const
+{
+    ckpt::Writer w;
+    serialize(w);
+    return w.hash();
 }
 
 } // namespace aqsim::sim

@@ -37,6 +37,11 @@
 #include "base/types.hh"
 #include "sim/small_callback.hh"
 
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
 namespace aqsim::sim
 {
 
@@ -151,6 +156,19 @@ class EventQueue
 
     /** @return number of live (non-cancelled) pending events. */
     std::size_t pendingCount() const { return numLive_; }
+
+    /**
+     * Checkpoint support: write the queue's architectural state —
+     * clock, sequence counter, lifetime counters and every live
+     * pending entry as (tick, priority, seq) in deterministic order.
+     * Callbacks are code, not data; on restore they are reconstructed
+     * by deterministic replay and this serialization is what the
+     * divergence checker compares (docs/checkpoint-restore.md).
+     */
+    void serialize(ckpt::Writer &w) const;
+
+    /** FNV-1a fingerprint of serialize() output. */
+    std::uint64_t stateHash() const;
 
   private:
     /** One pooled event record; records never move once allocated. */

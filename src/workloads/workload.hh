@@ -74,6 +74,7 @@ class AppContext
     sim::EventQueue &queue() { return node_.queue(); }
     Tick now() const { return node_.queue().now(); }
     Rng &rng() { return rng_; }
+    const Rng &rng() const { return rng_; }
 
     /** Execute @p ops operations on the node CPU. */
     ComputeAwaitable

@@ -1,0 +1,215 @@
+/**
+ * Checkpoint file hardening tests: bit flips, truncation, stale
+ * versions and foreign endianness must all be rejected with a
+ * structured error naming the damaged section, and recovery must fall
+ * back past a corrupt newest file to the previous good checkpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/manager.hh"
+#include "engine/sequential_engine.hh"
+#include "test_util.hh"
+
+using namespace aqsim;
+using namespace aqsim::ckpt;
+
+namespace
+{
+
+/** Byte offsets of the container header fields (see ckpt_io.hh). */
+constexpr std::size_t versionOffset = 8;
+constexpr std::size_t endianOffset = 12;
+
+/** Produce a directory of real checkpoints from a small run. */
+struct CorruptFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dir = (std::filesystem::temp_directory_path() /
+               "aqsim_ckpt_corrupt")
+                  .string();
+        std::filesystem::remove_all(dir);
+
+        auto workload = workloads::makeWorkload("burst", 4, 0.05);
+        auto policy = core::parsePolicy("fixed:1us");
+        engine::EngineOptions options;
+        options.checkpointEvery = 100;
+        options.checkpointDir = dir;
+        options.checkpointKeepLast = 0;
+        engine::SequentialEngine engine(options);
+        result = engine.run(harness::defaultCluster(4, 7), *workload,
+                            *policy);
+
+        files.clear();
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir))
+            files.push_back(entry.path().string());
+        std::sort(files.begin(), files.end());
+        ASSERT_GE(files.size(), 2u);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::vector<std::uint8_t>
+    readImage(const std::string &path)
+    {
+        std::vector<std::uint8_t> raw;
+        CkptError error;
+        EXPECT_TRUE(readFile(path, raw, error)) << error.str();
+        return raw;
+    }
+
+    void
+    writeRaw(const std::string &path,
+             const std::vector<std::uint8_t> &raw)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(raw.data(), 1, raw.size(), f);
+        std::fclose(f);
+    }
+
+    std::string dir;
+    std::vector<std::string> files;
+    engine::RunResult result;
+};
+
+TEST_F(CorruptFixture, IntactFileDecodes)
+{
+    CheckpointImage image;
+    CkptError error;
+    ASSERT_TRUE(decodeImage(readImage(files.back()), image, error))
+        << error.str();
+    EXPECT_EQ(image.engine, "sequential");
+    EXPECT_GT(image.quantumIndex, 0u);
+    EXPECT_NE(image.find(sectionNodes), nullptr);
+    EXPECT_NE(image.find(sectionMpi), nullptr);
+}
+
+TEST_F(CorruptFixture, BitFlipIsRejectedNamingTheSection)
+{
+    auto raw = readImage(files.back());
+    // Flip one bit deep inside the payload: the damaged section's own
+    // CRC must catch it and the error must say which section died.
+    raw[raw.size() / 2] ^= 0x40;
+    CheckpointImage image;
+    CkptError error;
+    EXPECT_FALSE(decodeImage(raw, image, error));
+    EXPECT_FALSE(error.section.empty());
+    EXPECT_NE(error.str().find("CRC mismatch"), std::string::npos)
+        << error.str();
+}
+
+TEST_F(CorruptFixture, TruncationIsRejected)
+{
+    auto raw = readImage(files.back());
+    raw.resize(raw.size() - 7);
+    CheckpointImage image;
+    CkptError error;
+    EXPECT_FALSE(decodeImage(raw, image, error));
+    EXPECT_NE(error.str().find("truncated"), std::string::npos)
+        << error.str();
+}
+
+TEST_F(CorruptFixture, StaleVersionIsRejected)
+{
+    auto raw = readImage(files.back());
+    raw[versionOffset] = 99;
+    CheckpointImage image;
+    CkptError error;
+    EXPECT_FALSE(decodeImage(raw, image, error));
+    EXPECT_EQ(error.section, "header");
+    EXPECT_NE(error.message.find("version"), std::string::npos)
+        << error.str();
+}
+
+TEST_F(CorruptFixture, ForeignEndiannessIsRejected)
+{
+    auto raw = readImage(files.back());
+    std::swap(raw[endianOffset], raw[endianOffset + 3]);
+    std::swap(raw[endianOffset + 1], raw[endianOffset + 2]);
+    CheckpointImage image;
+    CkptError error;
+    EXPECT_FALSE(decodeImage(raw, image, error));
+    EXPECT_EQ(error.section, "header");
+    EXPECT_NE(error.message.find("endian"), std::string::npos)
+        << error.str();
+}
+
+TEST_F(CorruptFixture, NotACheckpointIsRejected)
+{
+    std::vector<std::uint8_t> raw = {'h', 'e', 'l', 'l', 'o'};
+    CheckpointImage image;
+    CkptError error;
+    EXPECT_FALSE(decodeImage(raw, image, error));
+    EXPECT_EQ(error.section, "header");
+    EXPECT_NE(error.message.find("magic"), std::string::npos)
+        << error.str();
+}
+
+TEST_F(CorruptFixture, RecoveryFallsBackPastCorruptNewestFile)
+{
+    // Damage the newest checkpoint in place.
+    auto raw = readImage(files.back());
+    raw[raw.size() / 2] ^= 0x01;
+    writeRaw(files.back(), raw);
+
+    CheckpointManager manager(dir, 0, 0);
+    CheckpointImage image;
+    std::string path;
+    CkptError error;
+    ASSERT_TRUE(manager.loadBest(image, path, error)) << error.str();
+    EXPECT_EQ(path, files[files.size() - 2]);
+    ASSERT_EQ(manager.skipped().size(), 1u);
+    EXPECT_NE(manager.skipped()[0].find(files.back()),
+              std::string::npos);
+}
+
+TEST_F(CorruptFixture, RecoveryFailsWhenEverythingIsCorrupt)
+{
+    for (const auto &file : files) {
+        auto raw = readImage(file);
+        raw[raw.size() / 2] ^= 0x01;
+        writeRaw(file, raw);
+    }
+    CheckpointManager manager(dir, 0, 0);
+    CheckpointImage image;
+    std::string path;
+    CkptError error;
+    EXPECT_FALSE(manager.loadBest(image, path, error));
+    EXPECT_EQ(manager.skipped().size(), files.size());
+}
+
+TEST_F(CorruptFixture, MetaSectionHashGuardsSectionSubstitution)
+{
+    // Swap a whole (self-consistent) section body between two files:
+    // every per-section CRC still passes, but the meta stateHash must
+    // expose the cross-file splice.
+    std::vector<Section> a, b;
+    CkptError error;
+    ASSERT_TRUE(decodeFile(readImage(files.back()), a, error));
+    ASSERT_TRUE(
+        decodeFile(readImage(files[files.size() - 2]), b, error));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name == sectionNodes) {
+            for (auto &other : b)
+                if (other.name == sectionNodes)
+                    a[i].body = other.body;
+        }
+    }
+    CheckpointImage image;
+    EXPECT_FALSE(decodeImage(encodeFile(a), image, error));
+    EXPECT_NE(error.str().find("hash"), std::string::npos)
+        << error.str();
+}
+
+} // namespace

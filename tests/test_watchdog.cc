@@ -41,6 +41,57 @@ TEST(Watchdog, RegularKicksKeepItQuietPastTheDeadline)
     EXPECT_EQ(dog.kicks(), 12u);
 }
 
+TEST(Watchdog, DisarmedWatchdogNeverFires)
+{
+    // Disarmed construction (the engine-owned shape): the deadline
+    // passes many times over with no kick and nothing happens.
+    engine::Watchdog dog(0.05);
+    EXPECT_FALSE(dog.armed());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(dog.kicks(), 0u);
+}
+
+TEST(Watchdog, RearmZeroesKickCountAndSwapsTheDump)
+{
+    engine::Watchdog dog(30.0);
+    dog.arm([] { return std::string("run one"); });
+    EXPECT_TRUE(dog.armed());
+    dog.kick();
+    dog.kick();
+    EXPECT_EQ(dog.kicks(), 2u);
+    dog.disarm();
+    EXPECT_FALSE(dog.armed());
+    // Re-arming for the next run must not inherit run one's count.
+    dog.arm([] { return std::string("run two"); });
+    EXPECT_EQ(dog.kicks(), 0u);
+    dog.kick();
+    EXPECT_EQ(dog.kicks(), 1u);
+}
+
+TEST(Watchdog, DisarmStopsTheDeadline)
+{
+    engine::Watchdog dog(0.1, [] { return std::string("dump"); });
+    dog.kick();
+    dog.disarm();
+    // Starve well past the deadline: a disarmed watchdog stays silent.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    EXPECT_EQ(dog.kicks(), 1u);
+}
+
+TEST(WatchdogDeath, RearmedWatchdogFiresWithTheNewDump)
+{
+    EXPECT_DEATH(
+        {
+            engine::Watchdog dog(0.05);
+            dog.arm([] { return std::string("first-run dump"); });
+            dog.kick();
+            dog.disarm();
+            dog.arm([] { return std::string("second-run dump"); });
+            std::this_thread::sleep_for(std::chrono::seconds(5));
+        },
+        "second-run dump");
+}
+
 TEST(WatchdogDeath, FiresWithTheDiagnosticDumpWhenStarved)
 {
     EXPECT_DEATH(

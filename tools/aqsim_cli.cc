@@ -15,6 +15,9 @@
  *             [--node-pause n:FROM:TO[,...]]
  *             [--reliable] [--retry-timeout T]  # ack + retransmit mode
  *             [--watchdog SECONDS]     # hang detector (0 = off)
+ *             [--checkpoint-every N --checkpoint-dir DIR]
+ *             [--restore FILE|DIR] [--verify-restore]
+ *             [--checkpoint-keep N]    # rotation (0 = unlimited)
  *             [--baseline]             # also run the 1us ground truth
  *             [--sweep spec1,spec2,...] # compare several policies
  *             [--stats] [--stats-csv]  # dump the statistics tree
@@ -168,6 +171,13 @@ runOne(const Args &args, workloads::Workload &workload,
     options.numWorkers =
         static_cast<std::size_t>(args.getInt("workers", 0));
     options.watchdogSeconds = args.getDouble("watchdog", 0.0);
+    options.checkpointEvery = static_cast<std::uint64_t>(
+        args.getInt("checkpoint-every", 0));
+    options.checkpointDir = args.getString("checkpoint-dir", "");
+    options.restorePath = args.getString("restore", "");
+    options.verifyRestore = args.getBool("verify-restore", false);
+    options.checkpointKeepLast =
+        static_cast<std::size_t>(args.getInt("checkpoint-keep", 2));
 
     cluster_storage = std::make_unique<engine::Cluster>(cluster_params,
                                                         workload);
@@ -201,7 +211,9 @@ main(int argc, char **argv)
                "timeline", "trace", "quiet", "debug-flags", "sweep",
                "check", "drop", "duplicate", "corrupt", "jitter-rate",
                "jitter-max", "link-down", "node-crash", "node-pause",
-               "reliable", "retry-timeout", "watchdog"});
+               "reliable", "retry-timeout", "watchdog",
+               "checkpoint-every", "checkpoint-dir", "restore",
+               "verify-restore", "checkpoint-keep"});
 
     debug::applyEnvironment();
     if (args.has("debug-flags"))

@@ -19,6 +19,11 @@ Checks (each file, line numbers reported):
   hotpath    no std::function (or <functional> include) under
              src/sim/ — the event kernel is allocation-free; use
              sim::SmallCallback (docs/performance.md)
+  persistence no raw file I/O (fopen/fwrite/fread, std::ofstream/
+             ifstream/fstream) under src/ outside src/ckpt/ — all
+             persistent simulator state goes through the versioned,
+             CRC-guarded ckpt_io layer (docs/checkpoint-restore.md);
+             tools/tests/bench report writers are exempt
 
 Usage: lint.py [--root DIR] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -72,6 +77,8 @@ def findings_for(path: Path, rel: str, text: str):
     posix_rel = rel.replace("\\", "/")
     in_base_random = posix_rel.startswith("src/base/random")
     in_sim_kernel = posix_rel.startswith("src/sim/")
+    state_serialization_banned = (posix_rel.startswith("src/") and
+                                  not posix_rel.startswith("src/ckpt/"))
 
     # --- guards ---
     if is_header:
@@ -160,6 +167,16 @@ def findings_for(path: Path, rel: str, text: str):
                         "<functional> is banned under src/sim/ "
                         "(the event kernel must not type-erase "
                         "through std::function)")
+
+        # --- persistence: state serialization goes through ckpt_io ---
+        if state_serialization_banned:
+            if re.search(r"\bf(open|write|read)\s*\(", code) or \
+               re.search(r"\b(std\s*::\s*)?[oi]?fstream\b", code):
+                finding(i, "persistence",
+                        "raw file I/O is banned under src/ outside "
+                        "src/ckpt/ (persist state through the "
+                        "versioned, CRC-guarded ckpt_io layer; see "
+                        "docs/checkpoint-restore.md)")
 
     return out
 
