@@ -24,6 +24,7 @@ run_preset() {
 
 echo "== lint =="
 python3 "$repo_root/tools/lint/lint.py" --root "$repo_root"
+python3 "$repo_root/tools/lint/test_lint.py"
 
 if command -v clang-format > /dev/null 2>&1; then
     echo "== clang-format (src/check) =="
@@ -36,6 +37,16 @@ fi
 run_preset werror
 run_preset default
 
+echo "== aqsim_analyze (layering + determinism audit) =="
+"$repo_root/build/tools/aqsim_analyze" --src "$repo_root/src"
+
+# Clang TSA needs the clang frontend; enforced unconditionally in CI.
+if command -v clang++ > /dev/null 2>&1; then
+    run_preset tsa
+else
+    echo "== clang++ not found, skipping thread-safety preset =="
+fi
+
 if [[ "$quick" == 1 ]]; then
     echo "check_all: quick mode done (sanitizer presets skipped)"
     exit 0
@@ -46,8 +57,8 @@ run_preset tsan
 
 if command -v clang-tidy > /dev/null 2>&1; then
     echo "== clang-tidy (src) =="
-    cmake --preset default -S "$repo_root" \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    # The default preset always exports compile_commands.json (and
+    # symlinks it at the repo root), so no reconfigure is needed.
     mapfile -t tidy_files < <(ls "$repo_root"/src/*/*.cc)
     clang-tidy -p "$repo_root/build" "${tidy_files[@]}"
 else

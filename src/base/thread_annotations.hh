@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation macros.
+ *
+ * These macros attach lock-discipline contracts to types, data members
+ * and functions so that clang's -Wthread-safety analysis can prove —
+ * at compile time — that every access to mutex-guarded state happens
+ * with the right mutex held. Under GCC (or any compiler without the
+ * attributes) every macro expands to nothing, so annotated code builds
+ * identically everywhere; the `tsa` CMake preset (clang,
+ * -Werror=thread-safety) is the configuration that actually enforces
+ * the contracts (see docs/static-analysis.md).
+ *
+ * Conventions used across the tree:
+ *
+ *  - AQSIM_GUARDED_BY(m) on a data member: every read and write must
+ *    hold `m`. Use this for the ground truth of what a mutex protects.
+ *  - AQSIM_REQUIRES(m) on a function: the *caller* must already hold
+ *    `m`. Use this for private helpers invoked from a locked region
+ *    instead of re-acquiring (or silently not acquiring) the mutex.
+ *  - AQSIM_ACQUIRE/AQSIM_RELEASE on functions that take/drop the
+ *    capability themselves (base::Mutex, base::MutexLock).
+ *  - AQSIM_EXCLUDES(m) on a function that must NOT be entered with `m`
+ *    held (it will acquire `m` itself; self-deadlock otherwise).
+ */
+
+#ifndef AQSIM_BASE_THREAD_ANNOTATIONS_HH
+#define AQSIM_BASE_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define AQSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AQSIM_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex). */
+#define AQSIM_CAPABILITY(x) AQSIM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define AQSIM_SCOPED_CAPABILITY AQSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with capability @p x held. */
+#define AQSIM_GUARDED_BY(x) AQSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by capability @p x. */
+#define AQSIM_PT_GUARDED_BY(x) AQSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Declares lock-ordering: this capability before the named ones. */
+#define AQSIM_ACQUIRED_BEFORE(...) \
+    AQSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Declares lock-ordering: this capability after the named ones. */
+#define AQSIM_ACQUIRED_AFTER(...) \
+    AQSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Caller must hold the capability exclusively when calling. */
+#define AQSIM_REQUIRES(...) \
+    AQSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared when calling. */
+#define AQSIM_REQUIRES_SHARED(...) \
+    AQSIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability exclusively and does not release. */
+#define AQSIM_ACQUIRE(...) \
+    AQSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared and does not release. */
+#define AQSIM_ACQUIRE_SHARED(...) \
+    AQSIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define AQSIM_RELEASE(...) \
+    AQSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function releases a shared-held capability. */
+#define AQSIM_RELEASE_SHARED(...) \
+    AQSIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function tries to acquire; @p first arg is the success value. */
+#define AQSIM_TRY_ACQUIRE(...) \
+    AQSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must be entered with the capability NOT held. */
+#define AQSIM_EXCLUDES(...) \
+    AQSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime) that the capability is held; analysis trusts. */
+#define AQSIM_ASSERT_CAPABILITY(x) \
+    AQSIM_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define AQSIM_RETURN_CAPABILITY(x) AQSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opts a function out of the analysis (document why at the site). */
+#define AQSIM_NO_THREAD_SAFETY_ANALYSIS \
+    AQSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // AQSIM_BASE_THREAD_ANNOTATIONS_HH

@@ -120,14 +120,14 @@ CheckpointManager::loadBest(CheckpointImage &out, std::string &path_out,
 void
 CheckpointManager::stashPanicImage(std::vector<std::uint8_t> encoded)
 {
-    std::lock_guard<std::mutex> lock(panicMutex_);
+    base::MutexLock lock(panicMutex_);
     panicImage_ = std::move(encoded);
 }
 
 std::string
 CheckpointManager::writePanicImage()
 {
-    std::lock_guard<std::mutex> lock(panicMutex_);
+    base::MutexLock lock(panicMutex_);
     if (panicImage_.empty())
         return "";
     CkptError error;

@@ -21,10 +21,10 @@
 #define AQSIM_CKPT_MANAGER_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "ckpt/checkpoint.hh"
 
 namespace aqsim::ckpt
@@ -88,14 +88,15 @@ class CheckpointManager
      * Stash the encoded boundary snapshot for the watchdog (called by
      * the engine at each quantum boundary; thread-safe).
      */
-    void stashPanicImage(std::vector<std::uint8_t> encoded);
+    void stashPanicImage(std::vector<std::uint8_t> encoded)
+        AQSIM_EXCLUDES(panicMutex_);
 
     /**
      * Write the stashed panic image to panic.aqc (called from the
      * watchdog dump path). @return the file path, or "" if no
      * boundary snapshot was ever stashed or the write failed.
      */
-    std::string writePanicImage();
+    std::string writePanicImage() AQSIM_EXCLUDES(panicMutex_);
 
   private:
     /** Delete all but the newest keepLast_ checkpoint files. */
@@ -110,8 +111,10 @@ class CheckpointManager
     CkptWriteStats stats_;
     std::vector<std::string> skipped_;
 
-    std::mutex panicMutex_;
-    std::vector<std::uint8_t> panicImage_;
+    /** Engine thread stashes, watchdog thread writes: the one pair of
+     * CheckpointManager entry points that can genuinely race. */
+    base::Mutex panicMutex_;
+    std::vector<std::uint8_t> panicImage_ AQSIM_GUARDED_BY(panicMutex_);
 };
 
 } // namespace aqsim::ckpt

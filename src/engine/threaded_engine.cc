@@ -1,11 +1,9 @@
 #include "engine/threaded_engine.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "base/logging.hh"
@@ -20,26 +18,6 @@ namespace aqsim::engine
 
 namespace
 {
-
-/** A delivery parked in a destination node's mailbox. */
-struct ParkedDelivery
-{
-    net::PacketPtr pkt;
-    Tick when;
-    /** How the placement was accounted (for the invariant checker). */
-    net::DeliveryKind kind;
-    /** Canonical merge key: (when, src, departTick) is a total order
-     * because departTick strictly increases per source NIC. */
-    bool
-    operator<(const ParkedDelivery &o) const
-    {
-        if (when != o.when)
-            return when < o.when;
-        if (pkt->src != o.pkt->src)
-            return pkt->src < o.pkt->src;
-        return pkt->departTick < o.pkt->departTick;
-    }
-};
 
 /** Map the engine's DeliveryKind onto the checker's mirror enum. */
 check::DeliveryClass
@@ -57,118 +35,9 @@ deliveryClass(net::DeliveryKind kind)
 }
 
 /**
- * Per-node cross-thread mailbox, swap-buffer style: producers park
- * deliveries with one short lock acquisition; the consumer drains the
- * whole batch with one lock acquisition into a reusable scratch
- * buffer, so the steady state allocates nothing and never holds the
- * lock while delivering.
- *
- * The owner-side handshake (open/close) shares the mutex with the
- * producers: a placement that saw the node open has pushed before
- * close() returns, and everything placed after close() is parked to
- * the quantum boundary — the property the canonical coordinator merge
- * depends on.
- */
-class NodeMailbox
-{
-  public:
-    /**
-     * Producer (any worker): decide placement of @p pkt against the
-     * open quantum ending at @p qe and park it.
-     */
-    Tick
-    park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
-         net::DeliveryKind &kind)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        Tick actual;
-        if (ideal >= qe) {
-            // Arrives in a later quantum: always safely schedulable.
-            kind = net::DeliveryKind::OnTime;
-            actual = ideal;
-        } else if (atBarrier_) {
-            // Fig. 3d: receiver already closed its quantum slice.
-            kind = net::DeliveryKind::NextQuantum;
-            actual = qe;
-        } else {
-            const Tick rnow =
-                currentTick_.load(std::memory_order_acquire);
-            if (ideal >= rnow) {
-                kind = net::DeliveryKind::OnTime;
-                actual = ideal;
-            } else {
-                kind = net::DeliveryKind::Straggler;
-                actual = std::min(rnow, qe);
-            }
-            urgent_.store(true, std::memory_order_release);
-        }
-        incoming_.push_back(ParkedDelivery{pkt, actual, kind});
-        return actual;
-    }
-
-    /** Owner: open the node's quantum slice. */
-    void
-    open()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        atBarrier_ = false;
-    }
-
-    /**
-     * Owner: close the slice atomically w.r.t. producers.
-     * @return true if deliveries raced in before the close.
-     */
-    bool
-    close()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        atBarrier_ = true;
-        return !incoming_.empty();
-    }
-
-    /**
-     * Swap the parked batch out under one lock acquisition. The
-     * returned buffer is reused on the next drain; worker (mid-
-     * quantum) and coordinator (at the barrier) drains never overlap,
-     * so the single scratch buffer is race-free by the gate protocol.
-     */
-    std::vector<ParkedDelivery> &
-    drain()
-    {
-        scratch_.clear();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            scratch_.swap(incoming_);
-            urgent_.store(false, std::memory_order_release);
-        }
-        return scratch_;
-    }
-
-    /** Set while the mailbox holds a delivery inside the open quantum. */
-    bool
-    urgent() const
-    {
-        return urgent_.load(std::memory_order_acquire);
-    }
-
-    /** Owner: publish the node's simulated position to producers. */
-    void
-    setCurrentTick(Tick t)
-    {
-        currentTick_.store(t, std::memory_order_release);
-    }
-
-  private:
-    std::mutex mutex_;
-    std::vector<ParkedDelivery> incoming_;
-    std::vector<ParkedDelivery> scratch_;
-    bool atBarrier_ = true;
-    std::atomic<Tick> currentTick_{0};
-    std::atomic<bool> urgent_{false};
-};
-
-/**
- * Thread-safe placement: park the delivery in the destination mailbox;
+ * Thread-safe placement: park the delivery in the destination mailbox
+ * (engine::NodeMailbox, defined alongside the WorkerPool it shards
+ * with — see engine/worker_pool.hh);
  * the owning worker (or the coordinator, at the barrier) schedules it
  * into the destination's event queue.
  */

@@ -25,7 +25,7 @@ Watchdog::Watchdog(double deadline_seconds)
 Watchdog::~Watchdog()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -36,7 +36,7 @@ void
 Watchdog::arm(DumpFn dump)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         dump_ = std::move(dump);
         kickCount_ = 0;
         armed_ = true;
@@ -48,7 +48,7 @@ void
 Watchdog::disarm()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         armed_ = false;
     }
     cv_.notify_all();
@@ -57,7 +57,7 @@ Watchdog::disarm()
 bool
 Watchdog::armed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return armed_;
 }
 
@@ -65,7 +65,7 @@ void
 Watchdog::kick()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         ++kickCount_;
     }
     cv_.notify_all();
@@ -74,7 +74,7 @@ Watchdog::kick()
 std::uint64_t
 Watchdog::kicks() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return kickCount_;
 }
 
@@ -82,16 +82,18 @@ void
 Watchdog::monitor()
 {
     const auto deadline = std::chrono::duration<double>(deadlineSeconds_);
-    std::unique_lock<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     while (!stop_) {
         if (!armed_) {
-            cv_.wait(lock, [&] { return stop_ || armed_; });
+            cv_.wait(mutex_, [&]() AQSIM_REQUIRES(mutex_) {
+                return stop_ || armed_;
+            });
             continue;
         }
         // Wake on every kick (or stop/disarm); declare a hang only
         // when a full deadline passes with the kick counter frozen.
         const std::uint64_t last_seen = kickCount_;
-        if (cv_.wait_for(lock, deadline, [&] {
+        if (cv_.waitFor(mutex_, deadline, [&]() AQSIM_REQUIRES(mutex_) {
                 return stop_ || !armed_ || kickCount_ != last_seen;
             }))
             continue;

@@ -17,12 +17,12 @@
 #ifndef AQSIM_ENGINE_WATCHDOG_HH
 #define AQSIM_ENGINE_WATCHDOG_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "base/mutex.hh"
 
 namespace aqsim::engine
 {
@@ -67,31 +67,31 @@ class Watchdog
      * (Re-)arm for a new run: zero the kick count, install this run's
      * dump callback, restart the deadline window.
      */
-    void arm(DumpFn dump);
+    void arm(DumpFn dump) AQSIM_EXCLUDES(mutex_);
 
     /** Stop watching; kicks still count, but no deadline runs. */
-    void disarm();
+    void disarm() AQSIM_EXCLUDES(mutex_);
 
     /** @return true while the deadline is being enforced. */
-    bool armed() const;
+    bool armed() const AQSIM_EXCLUDES(mutex_);
 
     /** Record progress: one quantum completed. */
-    void kick();
+    void kick() AQSIM_EXCLUDES(mutex_);
 
     /** Number of kicks observed since the last arm() (tests). */
-    std::uint64_t kicks() const;
+    std::uint64_t kicks() const AQSIM_EXCLUDES(mutex_);
 
   private:
-    void monitor();
+    void monitor() AQSIM_EXCLUDES(mutex_);
 
     const double deadlineSeconds_;
-    DumpFn dump_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::uint64_t kickCount_ = 0;
-    bool stop_ = false;
-    bool armed_ = false;
+    mutable base::Mutex mutex_;
+    base::CondVar cv_;
+    DumpFn dump_ AQSIM_GUARDED_BY(mutex_);
+    std::uint64_t kickCount_ AQSIM_GUARDED_BY(mutex_) = 0;
+    bool stop_ AQSIM_GUARDED_BY(mutex_) = false;
+    bool armed_ AQSIM_GUARDED_BY(mutex_) = false;
 
     std::thread thread_;
 };

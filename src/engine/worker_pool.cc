@@ -7,6 +7,62 @@
 namespace aqsim::engine
 {
 
+Tick
+NodeMailbox::park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
+                  net::DeliveryKind &kind)
+{
+    base::MutexLock lock(mutex_);
+    Tick actual;
+    if (ideal >= qe) {
+        // Arrives in a later quantum: always safely schedulable.
+        kind = net::DeliveryKind::OnTime;
+        actual = ideal;
+    } else if (atBarrier_) {
+        // Fig. 3d: receiver already closed its quantum slice.
+        kind = net::DeliveryKind::NextQuantum;
+        actual = qe;
+    } else {
+        const Tick rnow = currentTick_.load(std::memory_order_acquire);
+        if (ideal >= rnow) {
+            kind = net::DeliveryKind::OnTime;
+            actual = ideal;
+        } else {
+            kind = net::DeliveryKind::Straggler;
+            actual = std::min(rnow, qe);
+        }
+        urgent_.store(true, std::memory_order_release);
+    }
+    incoming_.push_back(ParkedDelivery{pkt, actual, kind});
+    return actual;
+}
+
+void
+NodeMailbox::open()
+{
+    base::MutexLock lock(mutex_);
+    atBarrier_ = false;
+}
+
+bool
+NodeMailbox::close()
+{
+    base::MutexLock lock(mutex_);
+    atBarrier_ = true;
+    return !incoming_.empty();
+}
+
+std::vector<ParkedDelivery> &
+NodeMailbox::drain()
+{
+    scratch_.clear();
+    {
+        base::MutexLock lock(mutex_);
+        scratch_.swap(incoming_);
+        urgent_.store(false, std::memory_order_release);
+    }
+    return scratch_;
+}
+
 WorkerPool::WorkerPool(std::size_t workers, QuantumFn fn)
     : gate_(workers), fn_(std::move(fn))
 {

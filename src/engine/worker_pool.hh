@@ -1,6 +1,8 @@
 /**
  * @file
- * Persistent quantum-synchronous worker pool for the ThreadedEngine.
+ * Persistent quantum-synchronous worker pool for the ThreadedEngine,
+ * plus the per-node cross-thread delivery mailbox its shards
+ * communicate through.
  *
  * The paper's Fig. 5 observation — per-quantum synchronization
  * overhead dominates parallel cluster simulation — applies to our own
@@ -35,7 +37,10 @@
 #include <utility>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "base/types.hh"
+#include "net/network_controller.hh"
+#include "net/packet.hh"
 
 namespace aqsim::engine
 {
@@ -143,6 +148,92 @@ class QuantumGate
     Tick quantumEnd_ = 0;
     bool stop_ = false;
     const std::size_t workers_;
+};
+
+/** A delivery parked in a destination node's mailbox. */
+struct ParkedDelivery
+{
+    net::PacketPtr pkt;
+    Tick when;
+    /** How the placement was accounted (for the invariant checker). */
+    net::DeliveryKind kind;
+    /** Canonical merge key: (when, src, departTick) is a total order
+     * because departTick strictly increases per source NIC. */
+    bool
+    operator<(const ParkedDelivery &o) const
+    {
+        if (when != o.when)
+            return when < o.when;
+        if (pkt->src != o.pkt->src)
+            return pkt->src < o.pkt->src;
+        return pkt->departTick < o.pkt->departTick;
+    }
+};
+
+/**
+ * Per-node (per-shard) cross-thread mailbox, swap-buffer style:
+ * producers park deliveries with one short lock acquisition; the
+ * consumer drains the whole batch with one lock acquisition into a
+ * reusable scratch buffer, so the steady state allocates nothing and
+ * never holds the lock while delivering.
+ *
+ * The owner-side handshake (open/close) shares the mutex with the
+ * producers: a placement that saw the node open has pushed before
+ * close() returns, and everything placed after close() is parked to
+ * the quantum boundary — the property the canonical coordinator merge
+ * depends on.
+ */
+class NodeMailbox
+{
+  public:
+    /**
+     * Producer (any worker): decide placement of @p pkt against the
+     * open quantum ending at @p qe and park it.
+     */
+    Tick park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
+              net::DeliveryKind &kind) AQSIM_EXCLUDES(mutex_);
+
+    /** Owner: open the node's quantum slice. */
+    void open() AQSIM_EXCLUDES(mutex_);
+
+    /**
+     * Owner: close the slice atomically w.r.t. producers.
+     * @return true if deliveries raced in before the close.
+     */
+    bool close() AQSIM_EXCLUDES(mutex_);
+
+    /**
+     * Swap the parked batch out under one lock acquisition. The
+     * returned buffer is reused on the next drain; worker (mid-
+     * quantum) and coordinator (at the barrier) drains never overlap,
+     * so the single scratch buffer is race-free by the gate protocol.
+     */
+    std::vector<ParkedDelivery> &drain() AQSIM_EXCLUDES(mutex_);
+
+    /** Set while the mailbox holds a delivery inside the open quantum. */
+    bool
+    urgent() const
+    {
+        return urgent_.load(std::memory_order_acquire);
+    }
+
+    /** Owner: publish the node's simulated position to producers. */
+    void
+    setCurrentTick(Tick t)
+    {
+        currentTick_.store(t, std::memory_order_release);
+    }
+
+  private:
+    base::Mutex mutex_;
+    std::vector<ParkedDelivery> incoming_ AQSIM_GUARDED_BY(mutex_);
+    /** Consumer-owned by the gate protocol (drains never overlap);
+     * deliberately not GUARDED_BY — it is touched outside the lock by
+     * whichever single thread owns the drain. */
+    std::vector<ParkedDelivery> scratch_;
+    bool atBarrier_ AQSIM_GUARDED_BY(mutex_) = true;
+    std::atomic<Tick> currentTick_{0};
+    std::atomic<bool> urgent_{false};
 };
 
 /**

@@ -67,24 +67,31 @@ NetworkController::NetworkController(std::size_t num_nodes,
 void
 NetworkController::setScheduler(DeliveryScheduler *scheduler)
 {
+    base::MutexLock lock(injectMutex_);
     scheduler_ = scheduler;
 }
 
 void
 NetworkController::setFaultInjector(fault::FaultInjector *faults)
 {
+    base::MutexLock lock(injectMutex_);
     faults_ = faults;
 }
 
 void
 NetworkController::addObserver(PacketObserver observer)
 {
+    base::MutexLock lock(injectMutex_);
     observers_.push_back(std::move(observer));
 }
 
 Tick
 NetworkController::minNetworkLatency() const
 {
+    // Locked only for the switch_ pointee read (minTraversal is
+    // immutable timing config, but the uniform discipline is cheaper
+    // than a special case: this runs once per quantum at most).
+    base::MutexLock lock(injectMutex_);
     // Smallest possible frame: assume 64-byte minimum Ethernet frame.
     constexpr std::uint32_t min_frame = 64;
     return params_.nic.txLatency + switch_->minTraversal() +
@@ -94,6 +101,7 @@ NetworkController::minNetworkLatency() const
 void
 NetworkController::beginQuantum()
 {
+    base::MutexLock lock(injectMutex_);
     statQuantumPackets_.sample(
         static_cast<double>(packetsThisQuantum_));
     packetsThisQuantum_ = 0;
@@ -102,7 +110,7 @@ NetworkController::beginQuantum()
 void
 NetworkController::inject(const PacketPtr &pkt)
 {
-    std::lock_guard<std::mutex> lock(injectMutex_);
+    base::MutexLock lock(injectMutex_);
     AQSIM_ASSERT(scheduler_ != nullptr);
     AQSIM_ASSERT(pkt->src < numNodes_);
     AQSIM_ASSERT(pkt->departTick >= pkt->sendTick);
@@ -202,6 +210,7 @@ NetworkController::deliverOne(const PacketPtr &pkt, Tick extra_delay,
 void
 NetworkController::reset()
 {
+    base::MutexLock lock(injectMutex_);
     // Drop the previous run's scheduler binding: the engine-side
     // scheduler object dies when run() returns, so carrying the
     // pointer across a reset turns the first inject of a re-run
@@ -225,6 +234,7 @@ NetworkController::reset()
 void
 NetworkController::serialize(ckpt::Writer &w) const
 {
+    base::MutexLock lock(injectMutex_);
     w.u64(nextPacketId_);
     w.u64(packetsThisQuantum_);
     w.u64(totalPackets_);
@@ -238,6 +248,7 @@ NetworkController::serialize(ckpt::Writer &w) const
 void
 NetworkController::deserialize(ckpt::Reader &r)
 {
+    base::MutexLock lock(injectMutex_);
     nextPacketId_ = r.u64();
     packetsThisQuantum_ = r.u64();
     totalPackets_ = r.u64();

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "base/types.hh"
 #include "net/packet.hh"
 #include "net/switch_model.hh"
@@ -129,10 +129,16 @@ class NetworkController
                       stats::Group &stats_parent);
 
     /** Bind the engine's delivery scheduler (required before inject). */
-    void setScheduler(DeliveryScheduler *scheduler);
+    void setScheduler(DeliveryScheduler *scheduler)
+        AQSIM_EXCLUDES(injectMutex_);
 
     /** Currently bound scheduler (nullptr after reset; tests). */
-    DeliveryScheduler *scheduler() const { return scheduler_; }
+    DeliveryScheduler *
+    scheduler() const AQSIM_EXCLUDES(injectMutex_)
+    {
+        base::MutexLock lock(injectMutex_);
+        return scheduler_;
+    }
 
     /**
      * Interpose a fault injector between the NICs and the switch
@@ -140,10 +146,12 @@ class NetworkController
      * unicast route while holding the injection mutex, so the injector
      * needs no locking of its own.
      */
-    void setFaultInjector(fault::FaultInjector *faults);
+    void setFaultInjector(fault::FaultInjector *faults)
+        AQSIM_EXCLUDES(injectMutex_);
 
     /** Register an observer called for every routed packet. */
-    void addObserver(PacketObserver observer);
+    void addObserver(PacketObserver observer)
+        AQSIM_EXCLUDES(injectMutex_);
 
     /**
      * Inject a frame from a source NIC. pkt->departTick must be set by
@@ -152,34 +160,60 @@ class NetworkController
      * Thread-safe: concurrent injections from node threads serialize
      * on an internal mutex (the ThreadedEngine path).
      */
-    void inject(const PacketPtr &pkt);
+    void inject(const PacketPtr &pkt) AQSIM_EXCLUDES(injectMutex_);
 
     /**
      * @return the minimum possible end-to-end latency T; quanta
      * Q <= T are safe (straggler-free), per the paper's safety rule.
      */
-    Tick minNetworkLatency() const;
+    Tick minNetworkLatency() const AQSIM_EXCLUDES(injectMutex_);
 
     /** Start a new quantum: reset the per-quantum packet counter. */
-    void beginQuantum();
+    void beginQuantum() AQSIM_EXCLUDES(injectMutex_);
 
     /** @return packets routed since the last beginQuantum(). */
-    std::uint64_t packetsThisQuantum() const
+    std::uint64_t
+    packetsThisQuantum() const AQSIM_EXCLUDES(injectMutex_)
     {
+        base::MutexLock lock(injectMutex_);
         return packetsThisQuantum_;
     }
 
     /** Lifetime counters (for tests and the harness). */
-    std::uint64_t totalPackets() const { return totalPackets_; }
-    std::uint64_t totalStragglers() const { return totalStragglers_; }
-    std::uint64_t totalNextQuantum() const { return totalNextQuantum_; }
+    std::uint64_t
+    totalPackets() const AQSIM_EXCLUDES(injectMutex_)
+    {
+        base::MutexLock lock(injectMutex_);
+        return totalPackets_;
+    }
+
+    std::uint64_t
+    totalStragglers() const AQSIM_EXCLUDES(injectMutex_)
+    {
+        base::MutexLock lock(injectMutex_);
+        return totalStragglers_;
+    }
+
+    std::uint64_t
+    totalNextQuantum() const AQSIM_EXCLUDES(injectMutex_)
+    {
+        base::MutexLock lock(injectMutex_);
+        return totalNextQuantum_;
+    }
 
     /** Frames dropped by the fault layer (0 on a perfect network). */
-    std::uint64_t totalDropped() const { return totalDropped_; }
+    std::uint64_t
+    totalDropped() const AQSIM_EXCLUDES(injectMutex_)
+    {
+        base::MutexLock lock(injectMutex_);
+        return totalDropped_;
+    }
 
     /** Sum over stragglers of (actual - ideal) delivery ticks. */
-    std::uint64_t totalLatenessTicks() const
+    std::uint64_t
+    totalLatenessTicks() const AQSIM_EXCLUDES(injectMutex_)
     {
+        base::MutexLock lock(injectMutex_);
         return totalLatenessTicks_;
     }
 
@@ -187,7 +221,7 @@ class NetworkController
     const NicParams &nicParams() const { return params_.nic; }
 
     /** Reset all per-run state (switch ports, counters). */
-    void reset();
+    void reset() AQSIM_EXCLUDES(injectMutex_);
 
     /**
      * Checkpoint support. Frames are routed to destination event
@@ -195,38 +229,50 @@ class NetworkController
      * controller holds no in-flight frames of its own — only the
      * packet-id counter, routing counters and switch port occupancy.
      */
-    void serialize(ckpt::Writer &w) const;
+    void serialize(ckpt::Writer &w) const AQSIM_EXCLUDES(injectMutex_);
 
     /** Restore state persisted by serialize(). */
-    void deserialize(ckpt::Reader &r);
+    void deserialize(ckpt::Reader &r) AQSIM_EXCLUDES(injectMutex_);
 
     /** FNV-1a fingerprint of serialize() output. */
-    std::uint64_t stateHash() const;
+    std::uint64_t stateHash() const AQSIM_EXCLUDES(injectMutex_);
 
   private:
     /** Route a single unicast frame (fault decisions + delivery). */
-    void routeOne(const PacketPtr &pkt);
+    void routeOne(const PacketPtr &pkt) AQSIM_REQUIRES(injectMutex_);
 
     /** Time and place one delivery (a surviving frame or a copy). */
     void deliverOne(const PacketPtr &pkt, Tick extra_delay,
-                    Tick not_before);
+                    Tick not_before) AQSIM_REQUIRES(injectMutex_);
 
     std::size_t numNodes_;
-    /** Serializes concurrent injections (ThreadedEngine). */
-    std::mutex injectMutex_;
+    /**
+     * Serializes concurrent injections (the ThreadedEngine path) and
+     * guards every mutable routing structure below. Coordinator-only
+     * phases (reset, quantum boundaries, checkpointing) take it too:
+     * uncontended acquisition is cheap and keeps the lock discipline
+     * uniform enough for the analysis to prove.
+     */
+    mutable base::Mutex injectMutex_;
     NetworkParams params_;
-    std::shared_ptr<SwitchModel> switch_;
-    DeliveryScheduler *scheduler_ = nullptr;
-    fault::FaultInjector *faults_ = nullptr;
-    std::vector<PacketObserver> observers_;
+    /** Pointer fixed at construction; pointee (port occupancy) is
+     * mutated while routing, hence PT_GUARDED. */
+    std::shared_ptr<SwitchModel> switch_
+        AQSIM_PT_GUARDED_BY(injectMutex_);
+    DeliveryScheduler *scheduler_ AQSIM_GUARDED_BY(injectMutex_) =
+        nullptr;
+    fault::FaultInjector *faults_ AQSIM_GUARDED_BY(injectMutex_) =
+        nullptr;
+    std::vector<PacketObserver> observers_
+        AQSIM_GUARDED_BY(injectMutex_);
 
-    std::uint64_t nextPacketId_ = 1;
-    std::uint64_t packetsThisQuantum_ = 0;
-    std::uint64_t totalPackets_ = 0;
-    std::uint64_t totalStragglers_ = 0;
-    std::uint64_t totalNextQuantum_ = 0;
-    std::uint64_t totalLatenessTicks_ = 0;
-    std::uint64_t totalDropped_ = 0;
+    std::uint64_t nextPacketId_ AQSIM_GUARDED_BY(injectMutex_) = 1;
+    std::uint64_t packetsThisQuantum_ AQSIM_GUARDED_BY(injectMutex_) = 0;
+    std::uint64_t totalPackets_ AQSIM_GUARDED_BY(injectMutex_) = 0;
+    std::uint64_t totalStragglers_ AQSIM_GUARDED_BY(injectMutex_) = 0;
+    std::uint64_t totalNextQuantum_ AQSIM_GUARDED_BY(injectMutex_) = 0;
+    std::uint64_t totalLatenessTicks_ AQSIM_GUARDED_BY(injectMutex_) = 0;
+    std::uint64_t totalDropped_ AQSIM_GUARDED_BY(injectMutex_) = 0;
 
     stats::Group &statsGroup_;
     stats::Scalar &statPackets_;

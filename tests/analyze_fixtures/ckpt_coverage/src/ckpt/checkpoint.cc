@@ -1,0 +1,7 @@
+#include "ckpt/checkpoint.hh"
+void encode(const CheckpointImage &img)
+{
+    use(img.quantumIndex);
+    use(img.configHash);
+    use(img.engine);
+}

@@ -1,0 +1,13 @@
+#ifndef CHECKPOINT_HH
+#define CHECKPOINT_HH
+#include <cstdint>
+#include <string>
+struct CheckpointImage
+{
+    std::uint64_t quantumIndex = 0;
+    std::uint64_t configHash = 0;
+    std::string engine;
+    std::uint64_t forgottenField = 0;
+    bool isValid() const { return configHash != 0; }
+};
+#endif

@@ -1,0 +1,4 @@
+#ifndef TYPES_HH
+#define TYPES_HH
+using Tick = unsigned long long;
+#endif

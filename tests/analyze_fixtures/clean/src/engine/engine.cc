@@ -1,0 +1,7 @@
+#include "net/packet.hh"
+#include "base/types.hh"
+#include <map>
+#include <set>
+// prose mentioning unordered_map in a comment is fine
+const char *banner = "unordered_set in a string is fine too";
+std::map<Tick, Packet> byTick;

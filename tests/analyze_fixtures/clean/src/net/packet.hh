@@ -1,0 +1,5 @@
+#ifndef PACKET_HH
+#define PACKET_HH
+#include "base/types.hh"
+struct Packet { Tick departTick; };
+#endif

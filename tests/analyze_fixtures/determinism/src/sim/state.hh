@@ -1,0 +1,12 @@
+#ifndef STATE_HH
+#define STATE_HH
+#include <map>
+#include <set>
+#include <unordered_map>
+struct Node;
+std::unordered_map<int, int> histogram;
+std::map<Node *, int> byNode;
+std::set<std::shared_ptr<Node>,
+         std::less<std::shared_ptr<Node>>> owners;
+std::map<int, Node *> byId; // pointer VALUES are fine, keys are not
+#endif

@@ -1,0 +1,9 @@
+#include "sim/state.hh"
+bool overlapping(Q &a, Q &b)
+{
+    return a.begin() < b.end();
+}
+bool selfRange(Q &a)
+{
+    return a.begin() < a.end(); // same container: fine
+}

@@ -1,0 +1,4 @@
+#ifndef CLOCK_HH
+#define CLOCK_HH
+#include "engine/driver.hh"
+#endif

@@ -1,0 +1,4 @@
+#ifndef DRIVER_HH
+#define DRIVER_HH
+#include "base/clock.hh"
+#endif

@@ -1,0 +1,4 @@
+#ifndef BENCH_HH
+#define BENCH_HH
+#include "net/wire.hh"
+#endif

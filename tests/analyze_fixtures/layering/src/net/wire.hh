@@ -1,0 +1,4 @@
+#ifndef WIRE_HH
+#define WIRE_HH
+#include "harness/bench.hh"
+#endif

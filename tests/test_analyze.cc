@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the aqsim_analyze layering/determinism auditor.
+ *
+ * Two layers of coverage:
+ *  - unit tests against the analyzer library (lexer, module/layer
+ *    mapping, analyzeTree over the golden fixture trees in
+ *    tests/analyze_fixtures/ — every seeded violation must be caught,
+ *    with exact file:line:rule, and nothing else);
+ *  - end-to-end runs of the aqsim_analyze binary, checking the exact
+ *    stdout against each fixture's expected.txt and the exit-code
+ *    contract (0 clean, 1 findings, 2 usage).
+ *
+ * The paths come in via compile definitions (see tests/CMakeLists.txt)
+ * so the tests work from any build directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyzer.hh"
+
+namespace
+{
+
+using aqsim::analyze::analyzeTree;
+using aqsim::analyze::Finding;
+using aqsim::analyze::layerOf;
+using aqsim::analyze::moduleOf;
+using aqsim::analyze::stripCommentsAndStrings;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(AQSIM_ANALYZE_FIXTURES) + "/" + name + "/src";
+}
+
+/** Run a command, capture stdout, return (exit code, stdout). */
+std::pair<int, std::string>
+run(const std::string &cmd)
+{
+    FILE *pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    const int status = pclose(pipe);
+    return {WEXITSTATUS(status), out};
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(AnalyzeLexer, StripsCommentsAndStrings)
+{
+    EXPECT_EQ(stripCommentsAndStrings("int x; // unordered_map"),
+              "int x;                 ");
+    EXPECT_EQ(stripCommentsAndStrings("a /* b */ c"), "a         c");
+    // Newlines survive inside block comments (line numbers hold).
+    EXPECT_EQ(stripCommentsAndStrings("/* a\nb */x"), "    \n    x");
+    // String contents blank out, delimiters stay.
+    EXPECT_EQ(stripCommentsAndStrings("f(\"rand()\")"),
+              "f(\"      \")");
+    // Escaped quote does not end the string.
+    EXPECT_EQ(stripCommentsAndStrings(R"(g("a\"b");h())"),
+              "g(\"    \");h()");
+    // '//' inside a string is not a comment.
+    EXPECT_EQ(stripCommentsAndStrings("p(\"a//b\");q()"),
+              "p(\"    \");q()");
+}
+
+TEST(AnalyzeLexer, RawStringsAndCharLiterals)
+{
+    const std::string raw = "auto s = R\"(map<Foo*, int>)\";done";
+    const std::string stripped = stripCommentsAndStrings(raw);
+    EXPECT_EQ(stripped.size(), raw.size());
+    EXPECT_EQ(stripped.find("map"), std::string::npos);
+    EXPECT_NE(stripped.find("done"), std::string::npos);
+    EXPECT_EQ(stripCommentsAndStrings("c = '\\''; x"),
+              "c = '  '; x");
+}
+
+TEST(AnalyzeLayers, ModuleMapping)
+{
+    EXPECT_EQ(moduleOf("base/types.hh"), "base");
+    EXPECT_EQ(moduleOf("engine/worker_pool.cc"), "engine");
+    EXPECT_EQ(moduleOf("aqsim.hh"), "root");
+    // The serialization primitive is its own low layer, split out of
+    // the checkpoint orchestration module.
+    EXPECT_EQ(moduleOf("ckpt/ckpt_io.hh"), "ckpt_io");
+    EXPECT_EQ(moduleOf("ckpt/ckpt_io.cc"), "ckpt_io");
+    EXPECT_EQ(moduleOf("ckpt/checkpoint.hh"), "ckpt");
+}
+
+TEST(AnalyzeLayers, LayerOrder)
+{
+    EXPECT_EQ(layerOf("base"), 0);
+    EXPECT_LT(layerOf("base"), layerOf("sim"));
+    EXPECT_LT(layerOf("ckpt_io"), layerOf("ckpt"));
+    EXPECT_LT(layerOf("sim"), layerOf("net"));
+    EXPECT_LT(layerOf("net"), layerOf("engine"));
+    EXPECT_EQ(layerOf("engine"), layerOf("ckpt"));
+    EXPECT_LT(layerOf("engine"), layerOf("harness"));
+    EXPECT_LT(layerOf("harness"), layerOf("root"));
+    EXPECT_EQ(layerOf("no_such_module"), -1);
+}
+
+TEST(AnalyzeFixtures, CleanTreeHasNoFindings)
+{
+    EXPECT_TRUE(analyzeTree(fixture("clean")).empty());
+}
+
+TEST(AnalyzeFixtures, LayeringCatchesUpwardEdgesAndCycles)
+{
+    const auto findings = analyzeTree(fixture("layering"));
+    ASSERT_EQ(findings.size(), 4u);
+    EXPECT_EQ(findings[0].file, "base/clock.hh");
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[0].rule, "layering");
+    EXPECT_EQ(findings[1].rule, "include-cycle");
+    EXPECT_EQ(findings[2].file, "net/wire.hh");
+    EXPECT_EQ(findings[2].rule, "include-cycle");
+    EXPECT_EQ(findings[3].rule, "layering");
+}
+
+TEST(AnalyzeFixtures, DeterminismRules)
+{
+    const auto findings = analyzeTree(fixture("determinism"));
+    ASSERT_EQ(findings.size(), 5u);
+    // <unordered_map> include + declaration.
+    EXPECT_EQ(findings[0].rule, "unordered-container");
+    EXPECT_EQ(findings[0].line, 5);
+    EXPECT_EQ(findings[1].rule, "unordered-container");
+    EXPECT_EQ(findings[1].line, 7);
+    // Raw and smart pointer keys; pointer *values* stay legal.
+    EXPECT_EQ(findings[2].rule, "pointer-key");
+    EXPECT_EQ(findings[2].line, 8);
+    EXPECT_EQ(findings[3].rule, "pointer-key");
+    EXPECT_EQ(findings[3].line, 9);
+    // Cross-container iterator comparison; same-container is fine.
+    EXPECT_EQ(findings[4].file, "sim/walk.cc");
+    EXPECT_EQ(findings[4].rule, "iterator-order");
+    EXPECT_EQ(findings[4].line, 4);
+}
+
+TEST(AnalyzeFixtures, CkptCoverageFindsForgottenField)
+{
+    const auto findings = analyzeTree(fixture("ckpt_coverage"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "ckpt/checkpoint.hh");
+    EXPECT_EQ(findings[0].line, 10);
+    EXPECT_EQ(findings[0].rule, "ckpt-coverage");
+    EXPECT_NE(findings[0].message.find("forgottenField"),
+              std::string::npos);
+}
+
+TEST(AnalyzeFixtures, RealTreeIsClean)
+{
+    // Zero findings over the actual src/ is an acceptance invariant:
+    // the DAG in the analyzer *is* the architecture, not a wish.
+    const auto findings = analyzeTree(AQSIM_ANALYZE_REAL_SRC);
+    for (const auto &f : findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+}
+
+TEST(AnalyzeBinary, GoldenOutputsAndExitCodes)
+{
+    const std::vector<std::pair<std::string, int>> cases = {
+        {"clean", 0},
+        {"layering", 1},
+        {"determinism", 1},
+        {"ckpt_coverage", 1},
+    };
+    for (const auto &[name, want_exit] : cases) {
+        const auto [code, out] = run(std::string(AQSIM_ANALYZE_BIN) +
+                                     " --src " + fixture(name));
+        EXPECT_EQ(code, want_exit) << name;
+        EXPECT_EQ(out, slurp(std::string(AQSIM_ANALYZE_FIXTURES) +
+                             "/" + name + "/expected.txt"))
+            << name;
+    }
+}
+
+TEST(AnalyzeBinary, UsageErrors)
+{
+    EXPECT_EQ(run(std::string(AQSIM_ANALYZE_BIN) +
+                  " --src /no/such/dir").first, 2);
+    EXPECT_EQ(run(std::string(AQSIM_ANALYZE_BIN) +
+                  " --bogus-flag").first, 2);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * aqsim_analyze: layering + determinism static auditor over src/.
+ *
+ * A deliberately small analyzer — a comment/string-stripping lexer and
+ * an include-graph builder, not a compiler frontend — that enforces
+ * the repository rules the regex lint (tools/lint/lint.py) cannot
+ * express and clang-tidy does not know about:
+ *
+ *  layering       every `#include "..."` edge must respect the
+ *                 declared module-layer DAG (docs/static-analysis.md):
+ *                 base -> {check,stats} -> {ckpt_io,sim}
+ *                 -> {fault,net,node,mpi,core} -> {trace,workloads}
+ *                 -> {engine,ckpt} -> harness -> root umbrella.
+ *                 Violations are reported as named edges (file:line).
+ *  include-cycle  the file-level include graph must be a DAG; cycles
+ *                 are reported with their full path.
+ *  unordered-container  std::unordered_map/set iteration order is
+ *                 implementation-defined, so a single token anywhere
+ *                 in simulation state is banned (the tree has zero —
+ *                 this locks that in).
+ *  pointer-key    ordered containers keyed by pointers (or smart
+ *                 pointers) iterate in allocation order, which varies
+ *                 run to run; key by stable ids instead.
+ *  iterator-order relational comparison of iterators from two
+ *                 different containers is UB and address-dependent.
+ *  ckpt-coverage  every data member of the snapshot structs declared
+ *                 in ckpt/checkpoint.hh must be mentioned by
+ *                 ckpt/checkpoint.cc encode/decode — forgetting a
+ *                 freshly added field silently truncates checkpoints.
+ *
+ * The analyzer runs over any src-like tree (module = first directory
+ * component), which is how the golden fixtures under
+ * tests/analyze_fixtures/ seed known violations.
+ */
+
+#ifndef AQSIM_TOOLS_ANALYZE_ANALYZER_HH
+#define AQSIM_TOOLS_ANALYZE_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+namespace aqsim::analyze
+{
+
+/** One reported rule violation, anchored to a file and line. */
+struct Finding
+{
+    std::string file; ///< path relative to the analyzed root
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/**
+ * Replace comments and string/char literal contents with spaces,
+ * preserving newlines (so offsets keep their line numbers). Handles
+ * //, block comments, escapes, and basic raw strings.
+ */
+std::string stripCommentsAndStrings(const std::string &text);
+
+/** Module name of a root-relative path ("base/types.hh" -> "base"). */
+std::string moduleOf(const std::string &rel_path);
+
+/** Layer index of a module (higher may include lower; -1 unknown). */
+int layerOf(const std::string &module);
+
+/**
+ * Run every rule over the tree rooted at @p src_root (typically the
+ * repository's src/). @return all findings, deterministically sorted
+ * by (file, line, rule, message).
+ */
+std::vector<Finding> analyzeTree(const std::string &src_root);
+
+} // namespace aqsim::analyze
+
+#endif // AQSIM_TOOLS_ANALYZE_ANALYZER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * aqsim_analyze entry point.
+ *
+ * Usage: aqsim_analyze [--src DIR]
+ *
+ * Runs the layering + determinism auditor (see analyzer.hh) over DIR
+ * (default: ./src). Findings go to stdout as `file:line: [rule]
+ * message`, one per line, deterministically sorted; a summary goes to
+ * stderr. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "tools/analyze/analyzer.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string src_root = "src";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--src") == 0 && i + 1 < argc) {
+            src_root = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: aqsim_analyze [--src DIR]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "aqsim_analyze: unknown argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    if (!std::filesystem::is_directory(src_root)) {
+        std::fprintf(stderr, "aqsim_analyze: '%s' is not a directory\n",
+                     src_root.c_str());
+        return 2;
+    }
+
+    const auto findings = aqsim::analyze::analyzeTree(src_root);
+    for (const auto &f : findings) {
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    std::fprintf(stderr, "aqsim_analyze: %zu finding%s in %s\n",
+                 findings.size(), findings.size() == 1 ? "" : "s",
+                 src_root.c_str());
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// Deliberately broken: every banned nondeterminism spelling the lint
+// must catch, including the qualified forms that once slipped past
+// the lookbehinds (std::time(nullptr) was never flagged). This file
+// lives in an EXCLUDED_DIRS entry, so the repository lint skips it;
+// tools/lint/test_lint.py lints it explicitly and asserts the exact
+// findings.
+
+#include <ctime>
+
+void
+bad()
+{
+    std::time(nullptr);     // determinism: qualified time()
+    ::time(0);              // determinism: global-scope time()
+    time(NULL);             // determinism: unqualified time()
+    std::rand();            // determinism: qualified rand()
+    srand(42);              // determinism: srand()
+    std::clock();           // determinism: qualified clock()
+}

@@ -1,0 +1,16 @@
+// Legitimate spellings the determinism rule must NOT flag: member
+// access, other-namespace qualification, identifiers that merely end
+// in a banned name, and banned names inside comments or strings.
+
+#include <string>
+
+void
+fine(Sim &sim, Clock *clk)
+{
+    sim.time();                    // member call
+    clk->time(nullptr);            // member call through pointer
+    hw::clock();                   // other-namespace clock
+    runtime(0);                    // identifier suffix match
+    std::string s = "time(NULL)";  // inside a string literal
+    // prose mentioning rand() and time(nullptr) in a comment
+}

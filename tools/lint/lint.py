@@ -37,16 +37,30 @@ from pathlib import Path
 DEFAULT_DIRS = ["src", "tests", "bench", "tools", "examples"]
 SOURCE_EXTS = {".hh", ".cc", ".cpp"}
 
+# Deliberately-broken inputs for the self-tests of lint.py and
+# aqsim_analyze; skipped when expanding directories (still lintable
+# when named explicitly on the command line).
+EXCLUDED_DIRS = [
+    "tools/lint/fixtures",
+    "tests/analyze_fixtures",
+]
+
 # Nondeterminism sources; base/random is the only place allowed to
 # touch the underlying generators. std::chrono is deliberately not
 # banned: wall-clock timing of *host* execution is measurement, not
 # simulation input.
+#
+# The call patterns are matched against *qualification-normalized*
+# code (std:: and global :: prefixes removed first), so std::time(
+# and ::time( are caught; the lookbehind then only has to exclude
+# member access (.time/->time) and other-namespace qualification,
+# both of which are a different function by definition.
 BANNED = [
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
      "time()"),
     (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
-    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock()"),
     (re.compile(r"\brandom_device\b"), "std::random_device"),
     # The std <random> engines fork unmanaged streams: seeding and
     # stream assignment would escape the Rng::fork() discipline that
@@ -145,8 +159,14 @@ def findings_for(path: Path, rel: str, text: str):
 
         # --- determinism ---
         if not in_base_random:
+            # Normalize away std:: and global :: qualification so
+            # qualified calls (std::time(nullptr)) cannot slip past
+            # the lookbehinds, which exist to skip *member* access
+            # and *other*-namespace qualification only.
+            norm = re.sub(r"\bstd\s*::\s*", "", code)
+            norm = re.sub(r"(?<![\w>])::\s*", "", norm)
             for pattern, what in BANNED:
-                if pattern.search(code):
+                if pattern.search(norm):
                     finding(i, "determinism",
                             f"{what} is banned outside base/random "
                             "(runs must be pure functions of the seed)")
@@ -197,8 +217,11 @@ def main() -> int:
         p = (root / target) if not Path(target).is_absolute() \
             else Path(target)
         if p.is_dir():
-            files.extend(sorted(q for q in p.rglob("*")
-                                if q.suffix in SOURCE_EXTS))
+            excluded = [root / d for d in EXCLUDED_DIRS]
+            files.extend(sorted(
+                q for q in p.rglob("*")
+                if q.suffix in SOURCE_EXTS and
+                not any(q.is_relative_to(e) for e in excluded)))
         elif p.is_file():
             files.append(p)
         else:

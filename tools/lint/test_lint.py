@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/lint.py.
+
+Regression anchor: the determinism rule's lookbehind `(?<![\\w:.])`
+excluded ':' to skip other-namespace qualification, which also made
+`std::time(nullptr)` invisible — the exact call the rule exists to
+catch. These tests pin the fixed behavior (qualification-normalized
+matching) for every banned pattern, the non-matches that motivated
+the lookbehinds, and the fixture-directory exclusion.
+
+Run directly (registered as the `lint_selftest` ctest).
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent.parent
+sys.path.insert(0, str(HERE))
+
+import lint  # noqa: E402
+
+
+def determinism(line):
+    """Determinism findings for a one-line .cc body."""
+    found = lint.findings_for(Path("src/core/x.cc"), "src/core/x.cc",
+                              line + "\n")
+    return [f for f in found if f[2] == "determinism"]
+
+
+class QualifiedCallRegression(unittest.TestCase):
+    """std::time(nullptr) & friends must be flagged (the old bug)."""
+
+    def test_qualified_time(self):
+        self.assertTrue(determinism("std::time(nullptr);"))
+
+    def test_global_scope_time(self):
+        self.assertTrue(determinism("::time(0);"))
+
+    def test_unqualified_time(self):
+        self.assertTrue(determinism("time(NULL);"))
+
+    def test_qualified_rand(self):
+        self.assertTrue(determinism("int x = std::rand();"))
+
+    def test_unqualified_srand(self):
+        self.assertTrue(determinism("srand(42);"))
+
+    def test_qualified_clock(self):
+        self.assertTrue(determinism("auto c = std::clock();"))
+
+    def test_spaced_qualification(self):
+        self.assertTrue(determinism("std :: time ( nullptr );"))
+
+
+class LookbehindNonMatches(unittest.TestCase):
+    """The spellings the lookbehinds exist to skip stay unflagged."""
+
+    def test_member_call(self):
+        self.assertFalse(determinism("sim.time();"))
+
+    def test_member_call_through_pointer(self):
+        self.assertFalse(determinism("clk->time(nullptr);"))
+
+    def test_other_namespace(self):
+        self.assertFalse(determinism("hw::clock();"))
+
+    def test_identifier_suffix(self):
+        self.assertFalse(determinism("runtime(0);"))
+
+    def test_steady_clock_now(self):
+        self.assertFalse(
+            determinism("auto t = std::chrono::steady_clock::now();"))
+
+    def test_comment(self):
+        self.assertFalse(determinism("// prose about time(nullptr)"))
+
+    def test_string_literal(self):
+        self.assertFalse(determinism('log("time(NULL)");'))
+
+
+class OtherRules(unittest.TestCase):
+    def test_random_device_qualified(self):
+        self.assertTrue(determinism("std::random_device rd;"))
+
+    def test_mt19937(self):
+        self.assertTrue(determinism("std::mt19937_64 gen(seed);"))
+
+    def test_base_random_exempt(self):
+        found = lint.findings_for(Path("src/base/random.cc"),
+                                  "src/base/random.cc",
+                                  "std::mt19937_64 gen(seed);\n")
+        self.assertFalse([f for f in found if f[2] == "determinism"])
+
+
+class Fixtures(unittest.TestCase):
+    """End-to-end over the fixture files via the CLI."""
+
+    def run_lint(self, *paths):
+        proc = subprocess.run(
+            [sys.executable, str(HERE / "lint.py"),
+             "--root", str(ROOT), *paths],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+    def test_bad_fixture_flags_every_banned_call(self):
+        code, out = self.run_lint("tools/lint/fixtures/determinism_bad.cc")
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[determinism]"), 6, out)
+
+    def test_ok_fixture_is_clean(self):
+        code, out = self.run_lint("tools/lint/fixtures/determinism_ok.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_fixture_dirs_excluded_from_directory_scan(self):
+        # Scanning tools/ must skip the deliberately-broken fixtures.
+        code, out = self.run_lint("tools")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("fixtures", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
