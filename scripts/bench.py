@@ -7,12 +7,18 @@ single JSON snapshot suitable for committing next to the code it
 measured.
 
 Usage:
-    python3 scripts/bench.py [--build-dir build-rel] [--smoke] [--out F]
+    python3 scripts/bench.py [--build-dir build-rel] [--smoke]
+                             [--sweep] [--out F]
 
 --smoke shrinks workload scales and repetitions so the whole suite
 finishes in well under a minute (used by CI to keep the benchmarks
 compiling and runnable); full runs take a few minutes and produce the
 numbers worth tracking.
+
+--sweep additionally runs the 64/256/1024/4096-node scale-out curve
+(nas.ep under fixed:10us, sequential and threaded) and records
+wall-clock milliseconds per quantum for each point — the scaling
+evidence for the sharded event kernel (docs/performance.md).
 """
 
 import argparse
@@ -20,6 +26,7 @@ import datetime
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import time
@@ -93,6 +100,97 @@ def scaleout_points(smoke):
     ]
 
 
+SUMMARY_RE = re.compile(r"host=([0-9.]+)s quanta=(\d+)")
+
+
+def run_cli_summary(binary, args):
+    """Run aqsim_cli once; return (wall_seconds, host_s, quanta)."""
+    cmd = [str(binary)] + args
+    start = time.monotonic()
+    out = subprocess.run(cmd, check=True, capture_output=True,
+                         text=True).stdout
+    wall = time.monotonic() - start
+    m = SUMMARY_RE.search(out)
+    if not m:
+        sys.exit(f"bench.py: no summary line in output of {cmd}")
+    return wall, float(m.group(1)), int(m.group(2))
+
+
+def sweep_points(smoke):
+    """64 -> 4096 node scale-out curve for the sharded kernel.
+
+    nas.ep rather than burst: burst's alltoall is O(n^2) packets and
+    does not reach 4096 nodes in benchmark time; EP keeps per-node
+    work constant so the curve isolates per-quantum engine cost.
+    """
+    node_counts = [64, 256] if smoke else [64, 256, 1024, 4096]
+    return [
+        (f"sweep_ep_{engine}/{nodes}", nodes, engine,
+         ["--workload", "nas.ep", "--nodes", str(nodes), "--engine",
+          engine, "--policy", "fixed:10us", "--scale", "1"])
+        for nodes in node_counts
+        for engine in ("sequential", "threaded")
+    ]
+
+
+def run_sweep(cli, smoke):
+    reps = 1 if smoke else 2
+    points = []
+    for name, nodes, engine, args in sweep_points(smoke):
+        print(f"[bench] {name} (reps={reps})")
+        best = None
+        for _ in range(reps):
+            sample = run_cli_summary(cli, args)
+            best = sample if best is None else min(best, sample)
+        wall, host_s, quanta = best
+        points.append({
+            "name": name,
+            "nodes": nodes,
+            "engine": engine,
+            "args": args,
+            "reps": reps,
+            "seconds_min": round(wall, 4),
+            # Sequential host_s is *modeled* host time; threaded
+            # host_s is the measured run loop. Wall-clock per quantum
+            # is the engine-comparable scaling number.
+            "summary_host_s": host_s,
+            "quanta": quanta,
+            "wall_ms_per_quantum": round(wall * 1e3 / quanta, 4),
+        })
+    return points
+
+
+def host_fingerprint():
+    """Host facts that make a snapshot comparable to another one.
+
+    os.cpu_count() alone conflates "CPUs in the machine" with "CPUs
+    this process may use" (containers/cgroups pin benchmarks to a
+    subset), so record both, plus the cpufreq governor and load
+    average that explain run-to-run variance.
+    """
+    host = {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpus_total": os.cpu_count(),
+    }
+    try:
+        host["cpus_available"] = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        host["cpus_available"] = os.cpu_count()
+    try:
+        load1, load5, _ = os.getloadavg()
+        host["loadavg"] = [round(load1, 2), round(load5, 2)]
+    except OSError:
+        pass
+    governor = Path(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+    try:
+        host["governor"] = governor.read_text().strip()
+    except OSError:
+        pass
+    return host
+
+
 def git_revision():
     try:
         return subprocess.run(
@@ -108,6 +206,9 @@ def main():
                         help="CMake build tree with Release binaries")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny scales/reps; CI keep-alive mode")
+    parser.add_argument("--sweep", action="store_true",
+                        help="also run the 64..4096-node scale-out "
+                             "curve (nas.ep, sequential + threaded)")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<date>.json)")
     opts = parser.parse_args()
@@ -144,11 +245,7 @@ def main():
     snapshot = {
         "date": datetime.date.today().isoformat(),
         "git": git_revision(),
-        "host": {
-            "system": platform.system(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
-        },
+        "host": host_fingerprint(),
         "config": {
             "smoke": opts.smoke,
             "build_dir": opts.build_dir,
@@ -158,6 +255,8 @@ def main():
         "micro_sync": micro_sync,
         "scaleout": scaleout,
     }
+    if opts.sweep:
+        snapshot["sweep"] = run_sweep(cli, opts.smoke)
 
     out_path = Path(opts.out) if opts.out else (
         REPO / f"BENCH_{snapshot['date']}.json")

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against the committed BENCH_*.json.
+
+Compares items_per_second of selected benchmarks (by default the
+worker-pool quantum-gate round trip at two worker counts — the
+per-quantum synchronization floor of the ThreadedEngine) between a
+fresh google-benchmark JSON run and the newest committed snapshot, and
+fails when any benchmark regressed by more than the allowed fraction.
+
+Usage (what the bench-regress CI job runs):
+    ./build-rel/bench/micro_sync \
+        '--benchmark_filter=BM_WorkerPoolQuantumGate/(1|2)$' \
+        --benchmark_format=json > current.json
+    python3 scripts/bench_compare.py --current current.json
+
+Exit codes: 0 within budget, 1 regression, 2 usage/data error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_NAMES = ["BM_WorkerPoolQuantumGate/1",
+                 "BM_WorkerPoolQuantumGate/2"]
+
+
+def newest_snapshot():
+    snapshots = sorted(REPO.glob("BENCH_*.json"))
+    if not snapshots:
+        sys.exit("bench_compare.py: no committed BENCH_*.json found")
+    return snapshots[-1]
+
+
+def items_per_second(records, name):
+    """Best items/s over exact-name matches.
+
+    With --benchmark_repetitions the JSON holds one record per
+    repetition (plus _mean/_stddev aggregates, which don't match the
+    exact name); gating on the best repetition filters scheduler noise
+    out of the regression signal.
+    """
+    best = None
+    for rec in records:
+        if rec.get("name") == name and "items_per_second" in rec:
+            value = rec["items_per_second"]
+            best = value if best is None else max(best, value)
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="google-benchmark JSON of the fresh run")
+    parser.add_argument("--baseline", default=None,
+                        help="committed snapshot (default: newest "
+                             "BENCH_*.json in the repo root)")
+    parser.add_argument("--names", default=",".join(DEFAULT_NAMES),
+                        help="comma-separated benchmark names to gate")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional items/s drop "
+                             "(default 0.25)")
+    opts = parser.parse_args()
+
+    baseline_path = (Path(opts.baseline) if opts.baseline
+                     else newest_snapshot())
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(Path(opts.current).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare.py: {err}")
+
+    # Baseline: a bench.py snapshot (micro_sync section); current: raw
+    # google-benchmark output (benchmarks section). Accept either shape
+    # on both sides so local use is forgiving.
+    base_records = baseline.get("micro_sync",
+                                baseline.get("benchmarks", []))
+    cur_records = current.get("benchmarks",
+                              current.get("micro_sync", []))
+
+    failures = []
+    for name in opts.names.split(","):
+        base = items_per_second(base_records, name)
+        cur = items_per_second(cur_records, name)
+        if base is None:
+            sys.exit(f"bench_compare.py: '{name}' not in baseline "
+                     f"{baseline_path.name}")
+        if cur is None:
+            sys.exit(f"bench_compare.py: '{name}' not in current run")
+        change = (cur - base) / base
+        status = "ok"
+        if change < -opts.max_regression:
+            status = "REGRESSED"
+            failures.append(name)
+        print(f"[bench-compare] {name}: {base:.3e} -> {cur:.3e} "
+              f"items/s ({change:+.1%}) {status}")
+
+    if failures:
+        print(f"[bench-compare] FAIL: {', '.join(failures)} dropped "
+              f"more than {opts.max_regression:.0%} vs "
+              f"{baseline_path.name}")
+        return 1
+    print(f"[bench-compare] all gated benchmarks within "
+          f"{opts.max_regression:.0%} of {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

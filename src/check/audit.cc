@@ -20,7 +20,7 @@ constexpr std::size_t numNames = numInvariants;
 const char *const names[numNames] = {
     "QuantumMonotonic", "QuantumBound",        "PastEvent",
     "TickMonotonic",    "PastDelivery",        "StragglerAccounting",
-    "MailboxOrder",
+    "MailboxOrder",     "ShardMergeOrder",
 };
 
 const char *const descriptions[numNames] = {
@@ -35,6 +35,9 @@ const char *const descriptions[numNames] = {
     "displaced (Fig. 3d accounting)",
     "threaded cross-quantum merge is strictly canonically ordered "
     "and never lands behind the receiver unaccounted",
+    "barrier-only shard-run merge emits deliveries in strictly "
+    "increasing (when, src, departTick) order, never behind the "
+    "receiver unaccounted",
 };
 
 } // namespace

@@ -206,6 +206,29 @@ InvariantChecker::mailboxMergeSlow(bool strictly_after,
     }
 }
 
+void
+InvariantChecker::shardMergeSlow(bool strictly_after,
+                                 DeliveryClass cls, Tick when,
+                                 Tick receiver_now)
+{
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    if (!strictly_after) {
+        violation(Invariant::ShardMergeOrder, when,
+                  "shard merge not strictly canonically ordered at "
+                  "tick %llu",
+                  static_cast<unsigned long long>(when));
+    }
+    if (when < receiver_now && cls != DeliveryClass::Straggler) {
+        violation(Invariant::ShardMergeOrder, when,
+                  "%s shard-merged delivery at %llu lands behind "
+                  "receiver at %llu",
+                  cls == DeliveryClass::OnTime ? "on-time"
+                                               : "next-quantum",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(receiver_now));
+    }
+}
+
 std::uint64_t
 InvariantChecker::violations(Invariant inv) const
 {

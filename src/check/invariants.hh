@@ -19,6 +19,10 @@
  *   MailboxOrder         the threaded engine's cross-quantum merge is
  *                        strictly canonically ordered and never lands
  *                        behind the receiver except as a Straggler
+ *   ShardMergeOrder      the barrier-only shard-run merge emits
+ *                        deliveries in strictly increasing canonical
+ *                        (when, src, departTick) order and never lands
+ *                        behind the receiver except as a Straggler
  *
  * The checker is always compiled and off by default: every hook is a
  * relaxed atomic load and a branch until enabled. Enable it from code
@@ -52,10 +56,11 @@ enum class Invariant : unsigned
     PastDelivery,
     StragglerAccounting,
     MailboxOrder,
+    ShardMergeOrder,
 };
 
 /** Number of distinct invariants (array sizing). */
-constexpr std::size_t numInvariants = 7;
+constexpr std::size_t numInvariants = 8;
 
 /** Short stable identifier, e.g. "QuantumBound". */
 const char *invariantName(Invariant inv);
@@ -189,6 +194,21 @@ class InvariantChecker
             mailboxMergeSlow(strictly_after, cls, when, receiver_now);
     }
 
+    /**
+     * The barrier-only k-way merge emitted one staged delivery:
+     * canonical key order vs the previous emission in this merge is
+     * @p strictly_after; it lands at @p when with the receiver at
+     * @p receiver_now, placed as @p cls. Coordinator thread only,
+     * workers parked (both engines share this via DeliveryBatch).
+     */
+    void
+    onShardMerge(bool strictly_after, DeliveryClass cls, Tick when,
+                 Tick receiver_now)
+    {
+        if (enabled())
+            shardMergeSlow(strictly_after, cls, when, receiver_now);
+    }
+
     // ----- results -----
 
     std::uint64_t violations(Invariant inv) const;
@@ -212,6 +232,8 @@ class InvariantChecker
     void deliverySlow(DeliveryClass cls, Tick actual, Tick ideal);
     void mailboxMergeSlow(bool strictly_after, DeliveryClass cls,
                           Tick when, Tick receiver_now);
+    void shardMergeSlow(bool strictly_after, DeliveryClass cls,
+                        Tick when, Tick receiver_now);
 
     /** Record one violation: count, trace, optionally panic. */
     void violation(Invariant inv, Tick tick, const char *fmt, ...)

@@ -1,0 +1,124 @@
+#include "engine/delivery_batch.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "check/invariants.hh"
+#include "ckpt/ckpt_io.hh"
+#include "engine/cluster.hh"
+#include "node/node_simulator.hh"
+
+namespace aqsim::engine
+{
+
+namespace
+{
+
+/** Map the engine's DeliveryKind onto the checker's mirror enum. */
+check::DeliveryClass
+deliveryClass(net::DeliveryKind kind)
+{
+    switch (kind) {
+      case net::DeliveryKind::Straggler:
+        return check::DeliveryClass::Straggler;
+      case net::DeliveryKind::NextQuantum:
+        return check::DeliveryClass::NextQuantum;
+      case net::DeliveryKind::OnTime:
+        break;
+    }
+    return check::DeliveryClass::OnTime;
+}
+
+} // namespace
+
+DeliveryBatch::DeliveryBatch(std::size_t num_nodes,
+                             std::size_t num_shards)
+    : runs_(num_shards), views_(num_shards),
+      per_((num_nodes + num_shards - 1) / num_shards)
+{
+    AQSIM_ASSERT(num_nodes > 0 && num_shards > 0);
+}
+
+void
+DeliveryBatch::stage(const net::PacketPtr &pkt, Tick when,
+                     net::DeliveryKind kind)
+{
+    Run &run = runs_[shardOf(pkt->src)];
+    AQSIM_ASSERT(!run.sorted);
+    run.keys.push_back(sim::RunKey{
+        when, pkt->departTick, pkt->src,
+        static_cast<std::uint32_t>(run.payload.size())});
+    run.payload.push_back(Staged{pkt, kind});
+    ++totalStaged_;
+}
+
+void
+DeliveryBatch::closeRun(std::size_t s)
+{
+    Run &run = runs_[s];
+    sim::sortRun(run.keys);
+    run.sorted = true;
+}
+
+std::size_t
+DeliveryBatch::mergeInto(Cluster &cluster)
+{
+    auto &checker = check::InvariantChecker::instance();
+    for (std::size_t s = 0; s < runs_.size(); ++s) {
+        // The engines close every run before merging; tolerate a
+        // missing close (e.g. a shard that staged nothing) here so the
+        // merge is self-contained for unit tests.
+        if (!runs_[s].sorted)
+            closeRun(s);
+        views_[s] = sim::RunView{runs_[s].keys.data(),
+                                 runs_[s].keys.size()};
+    }
+    merger_.reset(views_.data(), views_.size());
+
+    std::size_t merged = 0;
+    sim::RunKey prev{};
+    sim::RunMerger::Item item;
+    while (merger_.next(item)) {
+        const Staged &d = runs_[item.run].payload[item.key.idx];
+        auto &node = cluster.node(d.pkt->dst);
+        // Strict order doubles as a key-uniqueness check: equal
+        // (when, src, departTick) keys would make delivery order
+        // depend on which shard staged which copy.
+        checker.onShardMerge(merged == 0 ||
+                                 prev.strictlyBefore(item.key),
+                             deliveryClass(d.kind), item.key.when,
+                             node.queue().now());
+        node.nic().deliverAt(d.pkt,
+                             std::max(item.key.when,
+                                      node.queue().now()));
+        prev = item.key;
+        ++merged;
+    }
+
+    for (Run &run : runs_) {
+        run.keys.clear();
+        run.payload.clear();
+        run.sorted = false;
+    }
+    totalMerged_ += merged;
+    return merged;
+}
+
+std::size_t
+DeliveryBatch::pending() const
+{
+    std::size_t n = 0;
+    for (const Run &run : runs_)
+        n += run.keys.size();
+    return n;
+}
+
+void
+DeliveryBatch::serialize(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(pending()));
+    w.u64(totalStaged_);
+    w.u64(totalMerged_);
+}
+
+} // namespace aqsim::engine

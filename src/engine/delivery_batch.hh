@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-shard staging of cross-quantum deliveries with a barrier-only
+ * canonical merge — the engine half of the sharded event kernel
+ * (sim/run_merge.hh is the sim half; docs/performance.md describes
+ * the design).
+ *
+ * During a quantum, every delivery that lands at or beyond the quantum
+ * boundary — in a conservative run (Q <= T), that is *every* delivery —
+ * is staged into the run of the shard that owns the *source* node.
+ * Only the worker executing the source transmits, so each run has
+ * exactly one writer per quantum and staging is a plain vector append:
+ * no per-message locking, no cross-shard synchronization. The old
+ * NodeMailbox keeps only the urgent path (stragglers and on-time
+ * deliveries inside the open quantum, which must reach a live
+ * receiver mid-quantum).
+ *
+ * At the barrier each worker sorts its own run once (closeRun), and
+ * the coordinator k-way merges the sorted runs into the canonical
+ * (when, src, departTick) stream, delivering into the destination
+ * queues in an order that is a pure function of the run contents —
+ * independent of worker count and thread interleaving. Both engines
+ * dispatch through this class (the SequentialEngine is the K=1
+ * degenerate case), so cross-engine bit-identity falls out of sharing
+ * the code path rather than of two implementations agreeing.
+ */
+
+#ifndef AQSIM_ENGINE_DELIVERY_BATCH_HH
+#define AQSIM_ENGINE_DELIVERY_BATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/network_controller.hh"
+#include "net/packet.hh"
+#include "sim/run_merge.hh"
+
+namespace aqsim::ckpt
+{
+class Writer;
+} // namespace aqsim::ckpt
+
+namespace aqsim::engine
+{
+
+class Cluster;
+
+/**
+ * K staged delivery runs (one per worker shard) merged canonically at
+ * quantum barriers.
+ *
+ * Concurrency contract (gate-protocol ownership, same discipline as
+ * NodeMailbox::scratch_): run S is appended to only by the single
+ * thread executing shard S's nodes, sorted by that same thread at its
+ * quantum close, and read by the coordinator only after every worker
+ * arrived at the barrier. No member is locked; the WorkerPool gate's
+ * release/acquire pairs publish the writes.
+ */
+class DeliveryBatch
+{
+  public:
+    /**
+     * @param num_nodes cluster size (defines the shard map)
+     * @param num_shards worker count K; runs are keyed by the
+     *        contiguous ceil(num_nodes/K) shard of the *source* node,
+     *        matching WorkerPool::shardRange.
+     */
+    DeliveryBatch(std::size_t num_nodes, std::size_t num_shards);
+
+    /**
+     * Stage a delivery of @p pkt at @p when (>= the quantum boundary)
+     * into the source node's shard run. Called by the shard's owning
+     * worker only (via the controller's placement path).
+     */
+    void stage(const net::PacketPtr &pkt, Tick when,
+               net::DeliveryKind kind);
+
+    /** Sort shard @p s's run into canonical order; called by the
+     * owning worker as the last step of its quantum. */
+    void closeRun(std::size_t s);
+
+    /**
+     * Coordinator, at the barrier: k-way merge every sorted run in
+     * canonical (when, src, departTick) order, delivering each packet
+     * into its destination node and reporting the merge order to the
+     * invariant checker. Leaves every run empty.
+     *
+     * @return number of deliveries merged.
+     */
+    std::size_t mergeInto(Cluster &cluster);
+
+    /** Deliveries staged but not yet merged (0 at every boundary). */
+    std::size_t pending() const;
+
+    /** Lifetime counters: deterministic in any run where delivery
+     * classification is deterministic, so they may enter checkpoint
+     * images (serialize). */
+    std::uint64_t totalStaged() const { return totalStaged_; }
+    std::uint64_t totalMerged() const { return totalMerged_; }
+
+    std::size_t numShards() const { return runs_.size(); }
+
+    /** Checkpoint section payload: pending count (must be 0 at a
+     * boundary) plus the lifetime counters. */
+    void serialize(ckpt::Writer &w) const;
+
+  private:
+    /** Payload referenced by sim::RunKey::idx; touched on dispatch. */
+    struct Staged
+    {
+        net::PacketPtr pkt;
+        net::DeliveryKind kind;
+    };
+
+    /** One shard's staging run: SoA keys + cold payload. */
+    struct Run
+    {
+        std::vector<sim::RunKey> keys;
+        std::vector<Staged> payload;
+        bool sorted = false;
+    };
+
+    std::size_t shardOf(NodeId src) const { return src / per_; }
+
+    std::vector<Run> runs_;
+    /** Scratch views handed to the merger (reused per quantum). */
+    std::vector<sim::RunView> views_;
+    sim::RunMerger merger_;
+    /** Nodes per shard (ceil division, same map as shardRange). */
+    std::size_t per_;
+    std::uint64_t totalStaged_ = 0;
+    std::uint64_t totalMerged_ = 0;
+};
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_DELIVERY_BATCH_HH

@@ -11,6 +11,8 @@
 #include "ckpt/ckpt_io.hh"
 #include "ckpt/run_checkpointer.hh"
 #include "core/synchronizer.hh"
+#include "engine/delivery_batch.hh"
+#include "engine/shard_exec.hh"
 #include "engine/watchdog.hh"
 
 namespace aqsim::engine
@@ -30,7 +32,8 @@ class CoSim : public net::DeliveryScheduler
           const EngineOptions &options, Watchdog *watchdog,
           ckpt::RunCheckpointer *checkpointer)
         : cluster_(cluster), sync_(sync), options_(options),
-          watchdog_(watchdog), checkpointer_(checkpointer)
+          watchdog_(watchdog), checkpointer_(checkpointer),
+          batch_(cluster.numNodes(), 1)
     {
         Rng host_rng(cluster.params().seed ^ 0x9d5c0fb3ULL);
         const std::size_t n = cluster.numNodes();
@@ -88,14 +91,21 @@ class CoSim : public net::DeliveryScheduler
 
         if (ideal >= qe) {
             // Arrives in a later quantum: always safely schedulable.
-            dst.node->nic().deliverAt(pkt, ideal);
+            // Staged, not delivered: both engines route cross-quantum
+            // deliveries through the same canonical barrier merge.
+            batch_.stage(pkt, ideal, net::DeliveryKind::OnTime);
             kind = net::DeliveryKind::OnTime;
             return ideal;
         }
+        // The receiver's co-sim state is consulted below; an idle
+        // (lazy) receiver must first be materialized as if its barrier
+        // entry had been in the heap all along.
+        if (dst.lazy)
+            materialize(pkt->dst);
         if (dst.atBarrier) {
             // Fig. 3d: receiver already finished its quantum; the
             // controller queues the packet to the next boundary.
-            dst.node->nic().deliverAt(pkt, qe);
+            batch_.stage(pkt, qe, net::DeliveryKind::NextQuantum);
             kind = net::DeliveryKind::NextQuantum;
             return qe;
         }
@@ -117,21 +127,23 @@ class CoSim : public net::DeliveryScheduler
         // *caused* now, so nothing the receiver does afterwards may be
         // stamped earlier than this (host causality).
         if (rpos > dst.simPos) {
-            dst.node->queue().fastForwardTo(rpos);
+            advanceNodeTo(*dst.node, rpos);
             dst.simPos = rpos;
         }
         dst.hostClock = std::max(dst.hostClock, host_now);
 
         if (ideal >= rpos) {
             // Fig. 3 scenario (2): receiver has not yet reached the
-            // arrival time; schedule it exactly.
+            // arrival time; schedule it exactly (urgent: the receiver
+            // is live inside the quantum, so this cannot wait for the
+            // barrier merge).
             dst.node->nic().deliverAt(pkt, ideal);
             kind = net::DeliveryKind::OnTime;
             requeue(pkt->dst);
             return ideal;
         }
         if (rpos >= qe) {
-            dst.node->nic().deliverAt(pkt, qe);
+            batch_.stage(pkt, qe, net::DeliveryKind::NextQuantum);
             kind = net::DeliveryKind::NextQuantum;
             return qe;
         }
@@ -143,7 +155,7 @@ class CoSim : public net::DeliveryScheduler
                       static_cast<unsigned long long>(rpos));
         if (options_.stragglerPolicy ==
             StragglerPolicy::DeferToNextQuantum) {
-            dst.node->nic().deliverAt(pkt, qe);
+            batch_.stage(pkt, qe, net::DeliveryKind::NextQuantum);
             kind = net::DeliveryKind::NextQuantum;
             return qe;
         }
@@ -167,6 +179,15 @@ class CoSim : public net::DeliveryScheduler
         /** Host time at which the last event finished. */
         HostNs hostClock = 0.0;
         bool atBarrier = false;
+        /**
+         * Idle fast path: the node has no events this quantum, so its
+         * barrier time is the closed form lazyBarrier and it never
+         * enters the heap. It is folded in at quantum end, or
+         * materialized on demand if a mid-quantum delivery consults
+         * it (see materialize()).
+         */
+        bool lazy = false;
+        HostNs lazyBarrier = 0.0;
         std::uint64_t gen = 0;
     };
 
@@ -222,6 +243,41 @@ class CoSim : public net::DeliveryScheduler
         pushEntry(id);
     }
 
+    /**
+     * Bring a lazy (idle) node into the co-simulation exactly as if
+     * its barrier entry had been in the heap since the quantum began:
+     * if that entry would have popped before the entry currently
+     * executing, the node is already at its barrier; otherwise it
+     * becomes an active heap participant with the same entry key the
+     * eager path would have pushed. Heap pops are key-monotone (every
+     * push is stamped at or after the frontier), so the comparison
+     * against the current entry reproduces the eager schedule bit for
+     * bit.
+     */
+    void
+    materialize(NodeId id)
+    {
+        NodeState &s = states_[id];
+        AQSIM_ASSERT(s.lazy && curValid_);
+        s.lazy = false;
+        const Entry would{s.lazyBarrier, id, s.gen, true};
+        if (curEntry_ > would) {
+            // Its barrier pop predates the current entry: at that pop
+            // the frontier equaled lazyBarrier (monotone pops), which
+            // is what hostClock would have captured.
+            s.hostClock = s.lazyBarrier;
+            snapToQuantumEnd(*s.node, sync_.quantumEnd());
+            s.simPos = sync_.quantumEnd();
+            s.atBarrier = true;
+            maxBarrier_ = std::max(maxBarrier_, s.lazyBarrier);
+            ++activeNodes_;
+            ++barrierNodes_;
+        } else {
+            ++activeNodes_;
+            pushEntry(id);
+        }
+    }
+
     void
     runQuantum()
     {
@@ -230,20 +286,40 @@ class CoSim : public net::DeliveryScheduler
         const Tick qe = sync_.quantumEnd();
         const HostNs quantum_begin = globalHost_;
 
+        activeNodes_ = 0;
+        barrierNodes_ = 0;
+        maxBarrier_ = quantum_begin;
         for (NodeId id = 0; id < n; ++id) {
             NodeState &s = states_[id];
             AQSIM_ASSERT(s.node->queue().now() == qs);
             s.atBarrier = false;
             s.simPos = qs;
             s.hostClock = quantum_begin + s.host.perQuantumNs();
+            // Drawn for every node every quantum (idle or not): the
+            // cost model's AR(1) noise stream must advance identically
+            // on both paths.
             s.host.newQuantum(qe - qs);
             ++s.gen;
-            pushEntry(id);
+            if (s.node->queue().nextTick() >= qe) {
+                // Idle fast path: no events this quantum, so the
+                // barrier time is a closed form (same expression as
+                // pushEntry's barrier case) and the node skips the
+                // heap entirely. This is what keeps the per-quantum
+                // fixed cost flat as clusters grow: idle nodes cost
+                // O(1) with no heap traffic.
+                s.rate = s.host.rate(s.node->cpu().busy(),
+                                     s.node->cpu().hostDetailFactor());
+                s.lazy = true;
+                s.lazyBarrier =
+                    s.hostClock +
+                    static_cast<double>(qe - s.simPos) * s.rate;
+            } else {
+                pushEntry(id);
+                ++activeNodes_;
+            }
         }
 
-        std::size_t at_barrier = 0;
-        HostNs max_barrier = quantum_begin;
-        while (at_barrier < n) {
+        while (barrierNodes_ < activeNodes_) {
             AQSIM_ASSERT(!heap_.empty());
             const Entry e = heap_.top();
             heap_.pop();
@@ -256,26 +332,54 @@ class CoSim : public net::DeliveryScheduler
             currentHostNs_ = std::max(currentHostNs_, e.when);
             if (e.isBarrier) {
                 s.hostClock = currentHostNs_;
-                s.node->queue().fastForwardTo(qe);
+                snapToQuantumEnd(*s.node, qe);
                 s.simPos = qe;
                 s.atBarrier = true;
-                ++at_barrier;
-                max_barrier = std::max(max_barrier, currentHostNs_);
+                ++barrierNodes_;
+                maxBarrier_ = std::max(maxBarrier_, currentHostNs_);
                 continue;
             }
             // Run exactly one event; its callbacks may transmit
-            // packets (delivering into other nodes through place())
+            // packets (delivering into other nodes through place(),
+            // which may materialize lazy receivers against curEntry_)
             // or schedule further local events.
             const Tick tick = s.node->queue().nextTick();
             AQSIM_ASSERT(tick < qe);
             s.hostClock = currentHostNs_;
             s.simPos = tick;
-            const bool ran = s.node->queue().runOne();
+            curEntry_ = e;
+            curValid_ = true;
+            const bool ran = stepNode(*s.node);
             AQSIM_ASSERT(ran);
+            curValid_ = false;
             pushEntry(e.id);
         }
 
-        globalHost_ = max_barrier +
+        // Fold the nodes that stayed lazy: their barrier times join
+        // the frontier and barrier maxima (max is order-independent),
+        // and their clocks snap to the boundary.
+        for (NodeId id = 0; id < n; ++id) {
+            NodeState &s = states_[id];
+            if (!s.lazy)
+                continue;
+            s.lazy = false;
+            currentHostNs_ = std::max(currentHostNs_, s.lazyBarrier);
+            maxBarrier_ = std::max(maxBarrier_, s.lazyBarrier);
+            s.hostClock = s.lazyBarrier;
+            snapToQuantumEnd(*s.node, qe);
+            s.simPos = qe;
+            s.atBarrier = true;
+        }
+
+        // Canonical barrier merge, shared with the ThreadedEngine
+        // (K=1 here): staged cross-quantum deliveries enter the
+        // destination queues in (when, src, departTick) order before
+        // the quantum completes, keeping them visible to the deadlock
+        // check and inside the checkpoint cut.
+        batch_.closeRun(0);
+        batch_.mergeInto(cluster_);
+
+        globalHost_ = maxBarrier_ +
                       options_.host.barrierNs(states_.size());
         AQSIM_DPRINTF(Engine, qe, "engine",
                       "quantum [%llu,%llu) took %.0f host-ns",
@@ -306,6 +410,9 @@ class CoSim : public net::DeliveryScheduler
             w.u64(s.simPos);
             w.f64(s.hostClock);
         }
+        // Delivery-layer quiescence proof + deterministic counters
+        // (same section layout as the ThreadedEngine's).
+        batch_.serialize(w);
         return w.buffer();
     }
 
@@ -317,8 +424,18 @@ class CoSim : public net::DeliveryScheduler
     std::vector<NodeState> states_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         heap_;
+    /** Shared barrier-merge path (K=1 degenerate sharding). */
+    DeliveryBatch batch_;
     HostNs globalHost_ = 0.0;
     HostNs currentHostNs_ = 0.0;
+    /** Entry currently executing (lazy materialization compares
+     * against it); valid only while an event callback runs. */
+    Entry curEntry_{};
+    bool curValid_ = false;
+    /** Heap participants this quantum (lazy nodes join on demand). */
+    std::size_t activeNodes_ = 0;
+    std::size_t barrierNodes_ = 0;
+    HostNs maxBarrier_ = 0.0;
 };
 
 } // namespace

@@ -1,0 +1,70 @@
+#include "engine/shard_exec.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/worker_pool.hh"
+#include "node/node_simulator.hh"
+
+namespace aqsim::engine
+{
+
+void
+runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
+{
+    auto &queue = node.queue();
+
+    // Mid-quantum drain of deliveries placed *inside* the open
+    // quantum (the urgent/straggler path). Cross-quantum deliveries
+    // never touch the mailbox anymore: they are staged in the source
+    // shard's DeliveryBatch run and merged canonically at the barrier.
+    // No invariant hook here: the receiver is live, so an on-time
+    // parked delivery may benignly trail queue.now() by the placement
+    // race the engine already clamps for. The race-free merge check
+    // happens in DeliveryBatch::mergeInto.
+    auto deliver = [&](std::vector<ParkedDelivery> &batch) {
+        for (auto &d : batch)
+            node.nic().deliverAt(d.pkt, std::max(d.when, queue.now()));
+    };
+
+    mbx.open();
+    for (;;) {
+        while (queue.nextTick() < qe) {
+            queue.runOne();
+            mbx.setCurrentTick(queue.now());
+            if (mbx.urgent())
+                deliver(mbx.drain());
+        }
+        // Close the quantum atomically w.r.t. placers, then pick up
+        // anything that raced in under the open state.
+        if (!mbx.close())
+            break;
+        deliver(mbx.drain());
+        if (queue.nextTick() >= qe)
+            break;
+        // A raced-in delivery landed inside the quantum: reopen.
+        mbx.open();
+    }
+    queue.fastForwardTo(qe);
+    mbx.setCurrentTick(qe);
+}
+
+bool
+stepNode(node::NodeSimulator &node)
+{
+    return node.queue().runOne();
+}
+
+void
+advanceNodeTo(node::NodeSimulator &node, Tick tick)
+{
+    node.queue().fastForwardTo(tick);
+}
+
+void
+snapToQuantumEnd(node::NodeSimulator &node, Tick qe)
+{
+    node.queue().fastForwardTo(qe);
+}
+
+} // namespace aqsim::engine

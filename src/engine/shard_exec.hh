@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The shard-execution seam: the only engine-layer code allowed to
+ * mutate a node's sim::EventQueue directly.
+ *
+ * Quantum-local execution is the half of the sharded kernel that runs
+ * with no cross-shard synchronization (the other half — the barrier
+ * merge — is engine/delivery_batch.hh). Concentrating every direct
+ * queue mutation (runOne / fastForwardTo) behind these four functions
+ * keeps the engines' control flow free of event-kernel details and
+ * lets tools/analyze enforce the boundary statically: the
+ * "queue-seam" rule bans EventQueue mutators in engine code outside
+ * this file, so a future engine cannot quietly bypass the canonical
+ * merge by scheduling into another shard's queue (see
+ * docs/static-analysis.md).
+ */
+
+#ifndef AQSIM_ENGINE_SHARD_EXEC_HH
+#define AQSIM_ENGINE_SHARD_EXEC_HH
+
+#include "base/types.hh"
+
+namespace aqsim::node
+{
+class NodeSimulator;
+} // namespace aqsim::node
+
+namespace aqsim::engine
+{
+
+class NodeMailbox;
+
+/**
+ * Worker-side quantum-local execution: run @p node's events up to the
+ * quantum boundary @p qe, draining urgent mid-quantum deliveries from
+ * @p mbx under the mailbox open/close handshake, and leave the node
+ * fast-forwarded to @p qe with the mailbox closed.
+ */
+void runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx,
+                    Tick qe);
+
+/**
+ * Execute exactly one pending event (the SequentialEngine's host-time
+ * interleave steps nodes one event at a time).
+ * @return true if an event ran.
+ */
+bool stepNode(node::NodeSimulator &node);
+
+/**
+ * Advance @p node's clock to @p tick without running events (receiver
+ * interpolation; all pending events must lie at or beyond @p tick).
+ */
+void advanceNodeTo(node::NodeSimulator &node, Tick tick);
+
+/** Snap an event-free node to the quantum boundary @p qe. */
+void snapToQuantumEnd(node::NodeSimulator &node, Tick qe);
+
+} // namespace aqsim::engine
+
+#endif // AQSIM_ENGINE_SHARD_EXEC_HH

@@ -1,15 +1,16 @@
 #include "engine/threaded_engine.hh"
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "base/logging.hh"
-#include "check/invariants.hh"
+#include "ckpt/ckpt_io.hh"
 #include "ckpt/run_checkpointer.hh"
 #include "core/synchronizer.hh"
+#include "engine/delivery_batch.hh"
+#include "engine/shard_exec.hh"
 #include "engine/watchdog.hh"
 #include "engine/worker_pool.hh"
 
@@ -19,119 +20,50 @@ namespace aqsim::engine
 namespace
 {
 
-/** Map the engine's DeliveryKind onto the checker's mirror enum. */
-check::DeliveryClass
-deliveryClass(net::DeliveryKind kind)
-{
-    switch (kind) {
-      case net::DeliveryKind::Straggler:
-        return check::DeliveryClass::Straggler;
-      case net::DeliveryKind::NextQuantum:
-        return check::DeliveryClass::NextQuantum;
-      case net::DeliveryKind::OnTime:
-        break;
-    }
-    return check::DeliveryClass::OnTime;
-}
-
 /**
- * Thread-safe placement: park the delivery in the destination mailbox
- * (engine::NodeMailbox, defined alongside the WorkerPool it shards
- * with — see engine/worker_pool.hh);
- * the owning worker (or the coordinator, at the barrier) schedules it
- * into the destination's event queue.
+ * Thread-safe placement. Cross-quantum deliveries — every delivery of
+ * a conservative run — take the lock-free path: they are staged into
+ * the *source* shard's DeliveryBatch run (this thread is the shard's
+ * owning worker, so the append is single-writer) and merged into the
+ * destination queues in canonical order at the barrier. Only
+ * in-quantum deliveries (stragglers / on-time to a live receiver) go
+ * through the destination's NodeMailbox lock.
  */
 class ThreadedScheduler : public net::DeliveryScheduler
 {
   public:
     ThreadedScheduler(std::vector<NodeMailbox> &mailboxes,
-                      core::Synchronizer &sync)
-        : mailboxes_(mailboxes), sync_(sync)
+                      DeliveryBatch &batch, core::Synchronizer &sync)
+        : mailboxes_(mailboxes), batch_(batch), sync_(sync)
     {}
 
     Tick
     place(const net::PacketPtr &pkt, net::DeliveryKind &kind) override
     {
-        return mailboxes_[pkt->dst].park(pkt, pkt->idealArrival,
-                                         sync_.quantumEnd(), kind);
+        const Tick ideal = pkt->idealArrival;
+        // quantumEnd only changes at the barrier, with every worker
+        // parked, so this unlocked read is stable for the whole
+        // quantum.
+        const Tick qe = sync_.quantumEnd();
+        if (ideal >= qe) {
+            // Arrives in a later quantum: always safely schedulable.
+            kind = net::DeliveryKind::OnTime;
+            batch_.stage(pkt, ideal, kind);
+            return ideal;
+        }
+        bool parked = false;
+        const Tick when =
+            mailboxes_[pkt->dst].park(pkt, ideal, qe, kind, parked);
+        if (!parked)
+            batch_.stage(pkt, when, kind);
+        return when;
     }
 
   private:
     std::vector<NodeMailbox> &mailboxes_;
+    DeliveryBatch &batch_;
     core::Synchronizer &sync_;
 };
-
-/** Run one node of a worker's shard up to the quantum boundary. */
-void
-runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
-{
-    auto &queue = node.queue();
-
-    // Mid-quantum drain of deliveries placed *inside* the open
-    // quantum (the urgent/straggler path). Cross-quantum deliveries
-    // are merged canonically by the coordinator at the barrier.
-    // No invariant hook here: the receiver is live, so an on-time
-    // parked delivery may benignly trail queue.now() by the placement
-    // race the engine already clamps for. The race-free merge check
-    // happens in coordinatorDrain.
-    auto deliver = [&](std::vector<ParkedDelivery> &batch) {
-        for (auto &d : batch)
-            node.nic().deliverAt(d.pkt, std::max(d.when, queue.now()));
-    };
-
-    mbx.open();
-    for (;;) {
-        while (queue.nextTick() < qe) {
-            queue.runOne();
-            mbx.setCurrentTick(queue.now());
-            if (mbx.urgent())
-                deliver(mbx.drain());
-        }
-        // Close the quantum atomically w.r.t. placers, then pick up
-        // anything that raced in under the open state.
-        if (!mbx.close())
-            break;
-        deliver(mbx.drain());
-        if (queue.nextTick() >= qe)
-            break;
-        // A raced-in delivery landed inside the quantum: reopen.
-        mbx.open();
-    }
-    queue.fastForwardTo(qe);
-    mbx.setCurrentTick(qe);
-}
-
-/**
- * Coordinator-side drain at the barrier: all workers are parked, so
- * touching their queues is race-free. Cross-quantum deliveries are
- * merged in the canonical (tick, src, departTick) order, which makes
- * conservative runs bit-identical to the SequentialEngine regardless
- * of thread interleaving or worker count — and keeps parked packets
- * visible to the deadlock check.
- */
-void
-coordinatorDrain(Cluster &cluster, std::vector<NodeMailbox> &mailboxes)
-{
-    auto &checker = check::InvariantChecker::instance();
-    for (NodeId id = 0; id < cluster.numNodes(); ++id) {
-        auto &batch = mailboxes[id].drain();
-        if (batch.empty())
-            continue;
-        std::sort(batch.begin(), batch.end());
-        auto &node = cluster.node(id);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            const ParkedDelivery &d = batch[i];
-            // Strict order doubles as a key-uniqueness check: equal
-            // (when, src, departTick) keys would make the merge
-            // dependent on thread interleaving.
-            checker.onMailboxMerge(i == 0 || batch[i - 1] < d,
-                                   deliveryClass(d.kind), d.when,
-                                   node.queue().now());
-            node.nic().deliverAt(
-                d.pkt, std::max(d.when, node.queue().now()));
-        }
-    }
-}
 
 } // namespace
 
@@ -158,19 +90,24 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                             cluster.statsRoot(),
                             options_.recordTimeline);
 
-    std::vector<NodeMailbox> mailboxes(n);
-    ThreadedScheduler scheduler(mailboxes, sync);
-    cluster.controller().setScheduler(&scheduler);
-
     // Persistent pool: K workers each own a fixed contiguous shard of
     // ceil(n/K) nodes for the whole run, so large clusters no longer
     // oversubscribe the host with one thread per node.
     const std::size_t workers =
         WorkerPool::resolveWorkerCount(options_.numWorkers, n);
+
+    std::vector<NodeMailbox> mailboxes(n);
+    DeliveryBatch batch(n, workers);
+    ThreadedScheduler scheduler(mailboxes, batch, sync);
+    cluster.controller().setScheduler(&scheduler);
+
     WorkerPool pool(workers, [&](std::size_t w, Tick qe) {
         const auto [begin, end] = WorkerPool::shardRange(w, workers, n);
         for (std::size_t id = begin; id < end; ++id)
             runNodeQuantum(cluster.node(id), mailboxes[id], qe);
+        // One sort per shard per quantum: the worker owns its run, so
+        // sorting here parallelizes the merge's preprocessing.
+        batch.closeRun(w);
     });
 
     ckpt::RunCkptOptions ck;
@@ -228,7 +165,12 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                   cluster.progressReport().c_str());
         }
         pool.runQuantum(sync.quantumEnd());
-        coordinatorDrain(cluster, mailboxes);
+        // Barrier-only merge: every worker has arrived (acquire), so
+        // the sorted shard runs are visible and the canonical k-way
+        // merge delivers cross-quantum packets in (when, src,
+        // departTick) order — identical for every worker count, and
+        // staged packets become visible to the deadlock check.
+        batch.mergeInto(cluster);
         if (watchdog)
             watchdog->kick();
         const auto now_wall = std::chrono::steady_clock::now();
@@ -239,12 +181,16 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         quantum_start_wall = now_wall;
         sync.completeQuantum(quantum_ns);
         // Coordinator-only snapshot: all workers are parked at the
-        // barrier and the mailboxes are drained, so the cut is
-        // identical for every worker count. No engine-private section:
-        // this engine's only extra state is measured wall-clock, which
-        // must not enter the divergence check.
-        if (checkpointer)
-            checkpointer->onQuantumCompleted({});
+        // barrier and the shard runs are merged, so the cut is
+        // identical for every worker count. The engine-private section
+        // carries only the delivery layer's quiescence proof and
+        // deterministic lifetime counters — never measured wall-clock,
+        // which must not enter the divergence check.
+        if (checkpointer) {
+            ckpt::Writer w;
+            batch.serialize(w);
+            checkpointer->onQuantumCompleted(w.buffer());
+        }
         if (sync.numQuanta() > max_quanta)
             fatal("quantum budget exceeded (%llu)",
                   static_cast<unsigned long long>(max_quanta));

@@ -9,30 +9,29 @@ namespace aqsim::engine
 
 Tick
 NodeMailbox::park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
-                  net::DeliveryKind &kind)
+                  net::DeliveryKind &kind, bool &parked)
 {
     base::MutexLock lock(mutex_);
+    parked = false;
+    if (atBarrier_) {
+        // Fig. 3d: receiver already closed its quantum slice. Not
+        // stored: the caller stages it for the canonical barrier
+        // merge (DeliveryBatch).
+        kind = net::DeliveryKind::NextQuantum;
+        return qe;
+    }
     Tick actual;
-    if (ideal >= qe) {
-        // Arrives in a later quantum: always safely schedulable.
+    const Tick rnow = currentTick_.load(std::memory_order_acquire);
+    if (ideal >= rnow) {
         kind = net::DeliveryKind::OnTime;
         actual = ideal;
-    } else if (atBarrier_) {
-        // Fig. 3d: receiver already closed its quantum slice.
-        kind = net::DeliveryKind::NextQuantum;
-        actual = qe;
     } else {
-        const Tick rnow = currentTick_.load(std::memory_order_acquire);
-        if (ideal >= rnow) {
-            kind = net::DeliveryKind::OnTime;
-            actual = ideal;
-        } else {
-            kind = net::DeliveryKind::Straggler;
-            actual = std::min(rnow, qe);
-        }
-        urgent_.store(true, std::memory_order_release);
+        kind = net::DeliveryKind::Straggler;
+        actual = std::min(rnow, qe);
     }
     incoming_.push_back(ParkedDelivery{pkt, actual, kind});
+    urgent_.store(true, std::memory_order_release);
+    parked = true;
     return actual;
 }
 

@@ -171,27 +171,39 @@ struct ParkedDelivery
 };
 
 /**
- * Per-node (per-shard) cross-thread mailbox, swap-buffer style:
- * producers park deliveries with one short lock acquisition; the
- * consumer drains the whole batch with one lock acquisition into a
- * reusable scratch buffer, so the steady state allocates nothing and
- * never holds the lock while delivering.
+ * Per-node cross-thread mailbox for *urgent* deliveries only:
+ * stragglers and on-time deliveries that land inside the receiver's
+ * open quantum, which must reach the live receiver mid-quantum.
+ * Cross-quantum deliveries — every delivery of a conservative run —
+ * bypass the mailbox entirely and are staged lock-free in the source
+ * shard's DeliveryBatch run, so the mailbox lock is off the
+ * conservative hot path.
+ *
+ * Swap-buffer style: producers park deliveries with one short lock
+ * acquisition; the consumer drains the whole batch with one lock
+ * acquisition into a reusable scratch buffer, so the steady state
+ * allocates nothing and never holds the lock while delivering.
  *
  * The owner-side handshake (open/close) shares the mutex with the
  * producers: a placement that saw the node open has pushed before
- * close() returns, and everything placed after close() is parked to
- * the quantum boundary — the property the canonical coordinator merge
+ * close() returns, and everything placed after close() is deferred to
+ * the quantum boundary — the property the canonical barrier merge
  * depends on.
  */
 class NodeMailbox
 {
   public:
     /**
-     * Producer (any worker): decide placement of @p pkt against the
-     * open quantum ending at @p qe and park it.
+     * Producer (any worker): decide placement of @p pkt (with
+     * in-quantum ideal arrival @p ideal < @p qe) against the open
+     * quantum. Urgent placements (receiver still running) are parked
+     * here and @p parked is set; barrier placements (receiver already
+     * closed) are *not* stored — the caller stages them into its
+     * shard's DeliveryBatch run for the canonical barrier merge.
      */
     Tick park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
-              net::DeliveryKind &kind) AQSIM_EXCLUDES(mutex_);
+              net::DeliveryKind &kind, bool &parked)
+        AQSIM_EXCLUDES(mutex_);
 
     /** Owner: open the node's quantum slice. */
     void open() AQSIM_EXCLUDES(mutex_);

@@ -71,27 +71,33 @@ EventQueue::deschedule(EventId id)
 }
 
 void
-EventQueue::pushHeap(const HeapEntry &entry)
+EventQueue::pushHeap(const HeapKey &key, const HeapRef &ref)
 {
     // 4-ary sift-up with a hole (no swaps): parent of i is (i-1)/4.
-    heap_.push_back(entry);
-    std::size_t i = heap_.size() - 1;
+    // Only keys_ is compared; refs_ just mirrors the moves.
+    keys_.push_back(key);
+    refs_.push_back(ref);
+    std::size_t i = keys_.size() - 1;
     while (i > 0) {
         const std::size_t parent = (i - 1) >> 2;
-        if (!entry.before(heap_[parent]))
+        if (!key.before(keys_[parent]))
             break;
-        heap_[i] = heap_[parent];
+        keys_[i] = keys_[parent];
+        refs_[i] = refs_[parent];
         i = parent;
     }
-    heap_[i] = entry;
+    keys_[i] = key;
+    refs_[i] = ref;
 }
 
 void
 EventQueue::popHeapTop() const
 {
-    const HeapEntry last = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
+    const HeapKey last_key = keys_.back();
+    const HeapRef last_ref = refs_.back();
+    keys_.pop_back();
+    refs_.pop_back();
+    const std::size_t n = keys_.size();
     if (n == 0)
         return;
     // 4-ary sift-down of the former tail: children of i start at 4i+1.
@@ -103,22 +109,24 @@ EventQueue::popHeapTop() const
         std::size_t best = first;
         const std::size_t end = std::min(first + 4, n);
         for (std::size_t c = first + 1; c < end; ++c) {
-            if (heap_[c].before(heap_[best]))
+            if (keys_[c].before(keys_[best]))
                 best = c;
         }
-        if (!heap_[best].before(last))
+        if (!keys_[best].before(last_key))
             break;
-        heap_[i] = heap_[best];
+        keys_[i] = keys_[best];
+        refs_[i] = refs_[best];
         i = best;
     }
-    heap_[i] = last;
+    keys_[i] = last_key;
+    refs_[i] = last_ref;
 }
 
 void
 EventQueue::pruneStale() const
 {
-    while (!heap_.empty() &&
-           recordAt(heap_.front().slot)->gen != heap_.front().gen) {
+    while (!refs_.empty() &&
+           recordAt(refs_.front().slot)->gen != refs_.front().gen) {
         popHeapTop();
     }
 }
@@ -127,22 +135,23 @@ bool
 EventQueue::empty() const
 {
     pruneStale();
-    return heap_.empty();
+    return keys_.empty();
 }
 
 Tick
 EventQueue::nextTick() const
 {
     pruneStale();
-    return heap_.empty() ? maxTick : heap_.front().when;
+    return keys_.empty() ? maxTick : keys_.front().when;
 }
 
 void
 EventQueue::fireTop()
 {
-    const HeapEntry top = heap_.front();
+    const HeapKey top = keys_.front();
+    const HeapRef top_ref = refs_.front();
     popHeapTop();
-    Record &rec = *recordAt(top.slot);
+    Record &rec = *recordAt(top_ref.slot);
     check::InvariantChecker::instance().onTickAdvance(now_, top.when);
     AQSIM_ASSERT(top.when >= now_);
     now_ = top.when;
@@ -156,15 +165,15 @@ EventQueue::fireTop()
         rec.gen = 1;
     rec.cb();
     rec.cb.reset();
-    recordAt(top.slot)->nextFree = freeHead_;
-    freeHead_ = top.slot;
+    recordAt(top_ref.slot)->nextFree = freeHead_;
+    freeHead_ = top_ref.slot;
 }
 
 bool
 EventQueue::runOne()
 {
     pruneStale();
-    if (heap_.empty())
+    if (keys_.empty())
         return false;
     fireTop();
     return true;
@@ -179,7 +188,7 @@ EventQueue::runUntil(Tick limit)
     // tick decides both "is there work" and "is it within the limit".
     for (;;) {
         pruneStale();
-        if (heap_.empty() || heap_.front().when > limit)
+        if (keys_.empty() || keys_.front().when > limit)
             break;
         fireTop();
         ++executed;
@@ -209,17 +218,17 @@ EventQueue::serialize(ckpt::Writer &w) const
     // Live entries only, in the queue's own deterministic execution
     // order; the heap array layout is an implementation artifact and
     // must not leak into the fingerprint.
-    std::vector<HeapEntry> live;
+    std::vector<HeapKey> live;
     live.reserve(numLive_);
-    for (const HeapEntry &e : heap_)
-        if (recordAt(e.slot)->gen == e.gen)
-            live.push_back(e);
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+        if (recordAt(refs_[i].slot)->gen == refs_[i].gen)
+            live.push_back(keys_[i]);
     std::sort(live.begin(), live.end(),
-              [](const HeapEntry &a, const HeapEntry &b) {
+              [](const HeapKey &a, const HeapKey &b) {
                   return a.before(b);
               });
     w.u32(static_cast<std::uint32_t>(live.size()));
-    for (const HeapEntry &e : live) {
+    for (const HeapKey &e : live) {
         w.u64(e.when);
         w.i32(e.prio);
         w.u64(e.seq);

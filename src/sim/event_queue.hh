@@ -20,9 +20,11 @@
  *    stored in the record via SmallCallback (small-buffer optimized),
  *  - EventId handles carry a slot index plus a generation counter, so
  *    deschedule() is an O(1) slab probe instead of a map lookup,
- *  - ordering uses a 4-ary min-heap of plain-old-data entries keyed on
- *    the deterministic (tick, priority, seq) order; cancelled entries
- *    are skipped lazily when they surface at the head.
+ *  - ordering uses a 4-ary min-heap in structure-of-arrays layout:
+ *    sift comparisons touch only a contiguous array of 24-byte
+ *    (tick, priority, seq) keys, while the slab slot/generation pair —
+ *    needed only on dispatch and stale-pruning — lives in a parallel
+ *    array; cancelled entries are skipped lazily at the head.
  */
 
 #ifndef AQSIM_SIM_EVENT_QUEUE_HH
@@ -94,8 +96,9 @@ class EventQueue
         const std::uint32_t slot = allocSlot();
         Record &rec = *recordAt(slot);
         rec.cb.emplace(std::forward<F>(fn));
-        pushHeap(HeapEntry{when, static_cast<std::int32_t>(prio),
-                           nextSeq_++, slot, rec.gen});
+        pushHeap(HeapKey{when, static_cast<std::int32_t>(prio),
+                         nextSeq_++},
+                 HeapRef{slot, rec.gen});
         ++numScheduled_;
         ++numLive_;
         return (static_cast<EventId>(slot) << 32) | rec.gen;
@@ -186,18 +189,22 @@ class EventQueue
         std::uint32_t nextFree = 0;
     };
 
-    /** Plain-old-data heap entry; the callback stays in the slab. */
-    struct HeapEntry
+    /**
+     * Structure-of-arrays heap entry: the sort key every sift
+     * comparison touches lives in keys_, packed 24 bytes apiece, while
+     * the slab reference needed only on dispatch/prune lives in the
+     * parallel refs_ array. Both arrays move in lockstep; index i of
+     * one always pairs with index i of the other.
+     */
+    struct HeapKey
     {
         Tick when;
         std::int32_t prio;
         std::uint64_t seq;
-        std::uint32_t slot;
-        std::uint32_t gen;
 
         /** Deterministic total order: (when, prio, seq). */
         bool
-        before(const HeapEntry &o) const
+        before(const HeapKey &o) const
         {
             if (when != o.when)
                 return when < o.when;
@@ -205,6 +212,13 @@ class EventQueue
                 return prio < o.prio;
             return seq < o.seq;
         }
+    };
+
+    /** Cold half of a heap entry; the callback stays in the slab. */
+    struct HeapRef
+    {
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
     static constexpr std::uint32_t chunkShift = 8;
@@ -225,7 +239,7 @@ class EventQueue
     void addChunk();
     void freeSlot(std::uint32_t slot);
 
-    void pushHeap(const HeapEntry &entry);
+    void pushHeap(const HeapKey &key, const HeapRef &ref);
     /** Remove the head entry, restoring the 4-ary heap order. */
     void popHeapTop() const;
     /** Drop cancelled (stale-generation) entries from the head. */
@@ -233,8 +247,9 @@ class EventQueue
     /** Pop the (live) head entry and execute its callback. */
     void fireTop();
 
-    /** Heap storage; mutable so const peeks can prune lazily. */
-    mutable std::vector<HeapEntry> heap_;
+    /** Heap storage (SoA); mutable so const peeks can prune lazily. */
+    mutable std::vector<HeapKey> keys_;
+    mutable std::vector<HeapRef> refs_;
     std::vector<std::unique_ptr<Record[]>> chunks_;
     std::uint32_t capacity_ = 0;
     std::uint32_t freeHead_ = noFreeSlot;

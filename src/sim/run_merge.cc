@@ -1,0 +1,78 @@
+#include "sim/run_merge.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace aqsim::sim
+{
+
+void
+sortRun(std::vector<RunKey> &keys)
+{
+    std::sort(keys.begin(), keys.end(),
+              [](const RunKey &a, const RunKey &b) {
+                  return a.before(b);
+              });
+}
+
+void
+RunMerger::reset(const RunView *runs, std::size_t count)
+{
+    heap_.clear();
+    remaining_ = 0;
+    for (std::size_t r = 0; r < count; ++r) {
+        if (runs[r].count == 0)
+            continue;
+        heap_.push_back(Cursor{runs[r].keys, runs[r].keys + runs[r].count,
+                               static_cast<std::uint32_t>(r)});
+        remaining_ += runs[r].count;
+    }
+    // Bottom-up 4-ary heapify: children of i start at 4i+1.
+    for (std::size_t i = heap_.size(); i-- > 0;)
+        siftDown(i);
+}
+
+void
+RunMerger::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    const Cursor moving = heap_[i];
+    for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (cursorBefore(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!cursorBefore(heap_[best], moving))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = moving;
+}
+
+bool
+RunMerger::next(Item &out)
+{
+    if (heap_.empty())
+        return false;
+    Cursor &top = heap_[0];
+    out.key = *top.cur;
+    out.run = top.run;
+    --remaining_;
+    if (++top.cur == top.end) {
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (heap_.empty())
+            return true;
+    }
+    siftDown(0);
+    return true;
+}
+
+} // namespace aqsim::sim

@@ -1,0 +1,9 @@
+struct Q;
+void drive(Q &queue, Q *other)
+{
+    queue.runOne();
+    other->fastForwardTo(100);
+    queue.schedule(5, 0); // direct mutation bypasses the seam
+    runNodeQuantum();     // the seam helper itself is fine
+    queue.scheduleIn(7);
+}

@@ -1,0 +1,6 @@
+struct Q;
+void runNodeQuantum(Q &queue)
+{
+    queue.runOne(); // legal: this file IS the seam
+    queue.fastForwardTo(100);
+}

@@ -1,0 +1,5 @@
+struct Q;
+void selfTest(Q &queue)
+{
+    queue.runOne(); // legal: the rule scopes to the engine module
+}

@@ -167,6 +167,30 @@ TEST(AnalyzeFixtures, CkptCoverageFindsForgottenField)
               std::string::npos);
 }
 
+TEST(AnalyzeFixtures, QueueSeamBansDirectMutationOutsideSeam)
+{
+    const auto findings = analyzeTree(fixture("queue_seam"));
+    ASSERT_EQ(findings.size(), 4u);
+    for (const auto &f : findings) {
+        // Only the rogue engine file trips: shard_exec.cc is the seam
+        // and sim/ may touch its own queues freely.
+        EXPECT_EQ(f.file, "engine/rogue_engine.cc");
+        EXPECT_EQ(f.rule, "queue-seam");
+    }
+    EXPECT_EQ(findings[0].line, 4);
+    EXPECT_NE(findings[0].message.find("'runOne'"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].line, 5);
+    EXPECT_NE(findings[1].message.find("'fastForwardTo'"),
+              std::string::npos);
+    EXPECT_EQ(findings[2].line, 6);
+    EXPECT_NE(findings[2].message.find("'schedule'"),
+              std::string::npos);
+    EXPECT_EQ(findings[3].line, 8);
+    EXPECT_NE(findings[3].message.find("'scheduleIn'"),
+              std::string::npos);
+}
+
 TEST(AnalyzeFixtures, RealTreeIsClean)
 {
     // Zero findings over the actual src/ is an acceptance invariant:
@@ -184,6 +208,7 @@ TEST(AnalyzeBinary, GoldenOutputsAndExitCodes)
         {"layering", 1},
         {"determinism", 1},
         {"ckpt_coverage", 1},
+        {"queue_seam", 1},
     };
     for (const auto &[name, want_exit] : cases) {
         const auto [code, out] = run(std::string(AQSIM_ANALYZE_BIN) +

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Sharded-kernel tests: the deterministic k-way barrier merge
+ * (sim::RunMerger) in isolation, the cross-engine bit-identity matrix
+ * ((SequentialEngine, ThreadedEngine x 1/2/4/8 workers) x (clean, 5%
+ * loss + reliable) x mid-run checkpoint/restore), and byte-identity of
+ * checkpoint images across worker counts — the acceptance gates of the
+ * per-shard event-queue refactor (docs/performance.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/threaded_engine.hh"
+#include "sim/run_merge.hh"
+#include "test_util.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+using sim::RunKey;
+using sim::RunMerger;
+using sim::RunView;
+
+RunView
+view(const std::vector<RunKey> &keys)
+{
+    return RunView{keys.data(), keys.size()};
+}
+
+/** Drain a merger into the flat emission order. */
+std::vector<RunKey>
+drain(RunMerger &merger)
+{
+    std::vector<RunKey> out;
+    RunMerger::Item item;
+    while (merger.next(item))
+        out.push_back(item.key);
+    return out;
+}
+
+TEST(RunMerge, SortRunOrdersByCanonicalKey)
+{
+    std::vector<RunKey> run = {
+        {20, 5, 1, 0}, {10, 9, 2, 1}, {10, 3, 2, 2},
+        {10, 3, 1, 3}, {20, 5, 1, 4},
+    };
+    sim::sortRun(run);
+    // (when, src, departTick), then staging index for full stability.
+    EXPECT_EQ(run[0].when, 10u);
+    EXPECT_EQ(run[0].src, 1u);
+    EXPECT_EQ(run[1].src, 2u);
+    EXPECT_EQ(run[1].depart, 3u);
+    EXPECT_EQ(run[2].depart, 9u);
+    EXPECT_EQ(run[3].when, 20u);
+    EXPECT_EQ(run[3].idx, 0u);
+    EXPECT_EQ(run[4].idx, 4u);
+}
+
+TEST(RunMerge, MergesInterleavedRunsCanonically)
+{
+    const std::vector<RunKey> a = {{10, 0, 0, 0}, {30, 0, 0, 1}};
+    const std::vector<RunKey> b = {{15, 1, 0, 0}, {25, 1, 0, 1}};
+    const std::vector<RunKey> c = {{5, 2, 0, 0}, {40, 2, 0, 1}};
+    const RunView views[] = {view(a), view(b), view(c)};
+    RunMerger merger;
+    merger.reset(views, 3);
+    EXPECT_EQ(merger.remaining(), 6u);
+    const auto out = drain(merger);
+    ASSERT_EQ(out.size(), 6u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_TRUE(out[i - 1].strictlyBefore(out[i])) << i;
+    EXPECT_EQ(out[0].when, 5u);
+    EXPECT_EQ(out[5].when, 40u);
+}
+
+TEST(RunMerge, TieBreaksOnSourceThenDepart)
+{
+    // Same arrival tick everywhere: src decides, then departTick (a
+    // total order because departTick strictly increases per source).
+    const std::vector<RunKey> a = {{10, 4, 2, 0}, {10, 9, 2, 1}};
+    const std::vector<RunKey> b = {{10, 3, 1, 0}, {10, 7, 5, 1}};
+    const RunView views[] = {view(a), view(b)};
+    RunMerger merger;
+    merger.reset(views, 2);
+    const auto out = drain(merger);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].src, 1u);
+    EXPECT_EQ(out[1].src, 2u);
+    EXPECT_EQ(out[1].depart, 4u);
+    EXPECT_EQ(out[2].src, 2u);
+    EXPECT_EQ(out[2].depart, 9u);
+    EXPECT_EQ(out[3].src, 5u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_TRUE(out[i - 1].strictlyBefore(out[i])) << i;
+}
+
+TEST(RunMerge, SkipsEmptyShardsAndHandlesSingleRun)
+{
+    const std::vector<RunKey> only = {{7, 0, 3, 0}, {9, 0, 3, 1}};
+    const std::vector<RunKey> empty;
+    const RunView views[] = {view(empty), view(only), view(empty)};
+    RunMerger merger;
+    merger.reset(views, 3);
+    EXPECT_EQ(merger.remaining(), 2u);
+    const auto out = drain(merger);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].when, 7u);
+    EXPECT_EQ(out[1].when, 9u);
+}
+
+TEST(RunMerge, AllEmptyAndReuse)
+{
+    RunMerger merger;
+    merger.reset(nullptr, 0);
+    RunMerger::Item item;
+    EXPECT_FALSE(merger.next(item));
+    EXPECT_EQ(merger.remaining(), 0u);
+    // A merger is reusable quantum after quantum via reset().
+    const std::vector<RunKey> a = {{1, 0, 0, 0}};
+    const RunView views[] = {view(a)};
+    merger.reset(views, 1);
+    EXPECT_TRUE(merger.next(item));
+    EXPECT_EQ(item.key.when, 1u);
+    EXPECT_EQ(item.run, 0u);
+    EXPECT_FALSE(merger.next(item));
+}
+
+// ---------------------------------------------------------------
+// Cross-engine bit-identity matrix.
+// ---------------------------------------------------------------
+
+engine::ClusterParams
+matrixParams(bool lossy)
+{
+    auto params = harness::defaultCluster(8, 13);
+    if (lossy) {
+        params.faults.dropRate = 0.05;
+        params.mpiParams.reliable = true;
+    }
+    return params;
+}
+
+/**
+ * Run one matrix cell: workers == 0 means the SequentialEngine,
+ * otherwise the ThreadedEngine with that worker count (8 nodes, so 8
+ * workers are not clamped away).
+ */
+engine::RunResult
+runMatrixCell(std::size_t workers, bool lossy,
+              engine::EngineOptions options = {})
+{
+    auto workload = workloads::makeWorkload("burst", 8, 0.05);
+    auto policy = core::parsePolicy("fixed:1us");
+    const auto params = matrixParams(lossy);
+    if (workers == 0) {
+        engine::SequentialEngine engine(options);
+        return engine.run(params, *workload, *policy);
+    }
+    options.numWorkers = workers;
+    engine::ThreadedEngine engine(options);
+    return engine.run(params, *workload, *policy);
+}
+
+/** Every deterministic RunResult field (host time is wall-clock on
+ * the threaded engine, so it is excluded by construction). */
+void
+expectBitIdentical(const engine::RunResult &a,
+                   const engine::RunResult &b, const std::string &what)
+{
+    EXPECT_EQ(a.simTicks, b.simTicks) << what;
+    EXPECT_EQ(a.quanta, b.quanta) << what;
+    EXPECT_EQ(a.packets, b.packets) << what;
+    EXPECT_EQ(a.stragglers, b.stragglers) << what;
+    EXPECT_EQ(a.nextQuantumDeliveries, b.nextQuantumDeliveries)
+        << what;
+    EXPECT_EQ(a.latenessTicks, b.latenessTicks) << what;
+    EXPECT_EQ(a.droppedFrames, b.droppedFrames) << what;
+    EXPECT_EQ(a.retransmits, b.retransmits) << what;
+    EXPECT_EQ(a.finishTicks, b.finishTicks) << what;
+    EXPECT_EQ(a.metric, b.metric) << what;
+    EXPECT_EQ(a.finalStateHash, b.finalStateHash) << what;
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("aqsim_shard_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+std::string
+checkpointFile(const std::string &dir, std::uint64_t quantum)
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "ckpt-q%012llu.aqc",
+                  static_cast<unsigned long long>(quantum));
+    return dir + "/" + name;
+}
+
+TEST(ShardIdentity, EveryWorkerCountMatchesSequential)
+{
+    for (const bool lossy : {false, true}) {
+        const auto golden = runMatrixCell(0, lossy);
+        ASSERT_GT(golden.quanta, 4u);
+        for (const std::size_t workers : {1ul, 2ul, 4ul, 8ul}) {
+            const std::string what =
+                std::string(lossy ? "lossy" : "clean") + " thr" +
+                std::to_string(workers);
+            expectBitIdentical(golden, runMatrixCell(workers, lossy),
+                               what);
+        }
+    }
+}
+
+TEST(ShardIdentity, RestoreAtGoldenQuantumMatchesAcrossEngines)
+{
+    // Mid-run checkpoint/restore leg of the matrix: every engine
+    // config checkpoints, is "killed", restores from the mid-run
+    // image with per-section divergence checking, and must land on
+    // the sequential golden bit-for-bit.
+    for (const bool lossy : {false, true}) {
+        const auto golden = runMatrixCell(0, lossy);
+        const std::uint64_t mid = golden.quanta / 2;
+        ASSERT_GT(mid, 0u);
+        int cell_id = 0;
+        for (const std::size_t workers : {0ul, 1ul, 2ul, 4ul, 8ul}) {
+            const std::string tag =
+                std::string(lossy ? "lossy" : "clean") + "_w" +
+                std::to_string(workers) + "_" +
+                std::to_string(cell_id++);
+            const std::string dir = scratchDir(tag);
+            engine::EngineOptions ck;
+            ck.checkpointEvery = 1;
+            ck.checkpointDir = dir;
+            ck.checkpointKeepLast = 0;
+            expectBitIdentical(golden, runMatrixCell(workers, lossy, ck),
+                               tag + " checkpointed");
+
+            engine::EngineOptions restore;
+            restore.restorePath = checkpointFile(dir, mid);
+            restore.verifyRestore = true;
+            const auto restored =
+                runMatrixCell(workers, lossy, restore);
+            expectBitIdentical(golden, restored, tag + " restored");
+            EXPECT_EQ(restored.restoredFromQuantum, mid) << tag;
+            std::filesystem::remove_all(dir);
+        }
+    }
+}
+
+std::string
+slurpBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(ShardIdentity, CheckpointImagesByteIdenticalAcrossWorkerCounts)
+{
+    // The snapshot cut happens at the barrier with the shard runs
+    // merged, and the engine-private section carries only
+    // deterministic counters — so the image on disk must not depend
+    // on how many workers produced it.
+    const std::uint64_t probe = 3;
+    std::string reference;
+    std::size_t ref_workers = 0;
+    for (const std::size_t workers : {1ul, 2ul, 4ul, 8ul}) {
+        const std::string dir =
+            scratchDir("bytes_w" + std::to_string(workers));
+        engine::EngineOptions ck;
+        ck.checkpointEvery = 1;
+        ck.checkpointDir = dir;
+        ck.checkpointKeepLast = 0;
+        const auto result = runMatrixCell(workers, /*lossy=*/true, ck);
+        ASSERT_GT(result.quanta, probe) << workers;
+        const std::string image =
+            slurpBytes(checkpointFile(dir, probe));
+        ASSERT_FALSE(image.empty()) << workers;
+        if (reference.empty()) {
+            reference = image;
+            ref_workers = workers;
+        } else {
+            EXPECT_EQ(image, reference)
+                << "image at quantum " << probe << " differs between "
+                << ref_workers << " and " << workers << " workers";
+        }
+        std::filesystem::remove_all(dir);
+    }
+}
+
+} // namespace

@@ -349,6 +349,40 @@ scanPointerKeys(const SourceFile &file, std::vector<Finding> &findings)
     }
 }
 
+/**
+ * Queue-seam rule: the engine module may drive node event queues only
+ * through the shard-execution seam (engine/shard_exec.cc), so the
+ * barrier-only canonical merge stays the single delivery path and the
+ * bit-identity argument across worker counts has one choke point to
+ * audit. Method-call syntax is what distinguishes a queue mutation
+ * from the engine's own same-named helpers (a bare `runNodeQuantum(`
+ * never matches; `queue.runOne(` does).
+ */
+const std::regex kQueueMutatorRe(
+    R"((\.|->)\s*(runOne|runUntil|fastForwardTo|scheduleIn|schedule|deschedule)\s*\()");
+
+void
+scanQueueSeam(const SourceFile &file, std::vector<Finding> &findings)
+{
+    if (moduleOf(file.rel) != "engine" ||
+        file.rel == "engine/shard_exec.cc")
+        return;
+    const auto lines = splitLines(file.stripped);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(lines[i], m, kQueueMutatorRe)) {
+            findings.push_back(
+                {file.rel, static_cast<int>(i) + 1, "queue-seam",
+                 "event-queue mutator '" + m.str(2) +
+                     "' called from engine code outside the "
+                     "shard-execution seam (engine/shard_exec.cc); "
+                     "route execution through runNodeQuantum/stepNode/"
+                     "advanceNodeTo/snapToQuantumEnd so the barrier "
+                     "merge stays the only delivery path"});
+        }
+    }
+}
+
 /** Layering + include-cycle checks over the whole tree. */
 void
 checkGraph(const std::vector<SourceFile> &files,
@@ -601,6 +635,7 @@ analyzeTree(const std::string &src_root)
     for (const auto &f : files) {
         scanFile(f, src_root, findings);
         scanPointerKeys(f, findings);
+        scanQueueSeam(f, findings);
     }
     checkGraph(files, findings);
     checkCkptCoverage(files, findings);

@@ -28,6 +28,13 @@
  *                 in ckpt/checkpoint.hh must be mentioned by
  *                 ckpt/checkpoint.cc encode/decode — forgetting a
  *                 freshly added field silently truncates checkpoints.
+ *  queue-seam     engine code may drive node event queues only
+ *                 through the shard-execution seam
+ *                 (engine/shard_exec.cc): direct EventQueue mutator
+ *                 calls (runOne/runUntil/fastForwardTo/schedule/
+ *                 scheduleIn/deschedule) anywhere else in the engine
+ *                 module would bypass the barrier-only canonical
+ *                 merge that makes every worker count bit-identical.
  *
  * The analyzer runs over any src-like tree (module = first directory
  * component), which is how the golden fixtures under
