@@ -18,7 +18,15 @@ numbers worth tracking.
 --sweep additionally runs the 64/256/1024/4096-node scale-out curve
 (nas.ep under fixed:10us, sequential and threaded) and records
 wall-clock milliseconds per quantum for each point — the scaling
-evidence for the sharded event kernel (docs/performance.md).
+evidence for the sharded event kernel (docs/performance.md). Sweep
+runs pass --phase-stats, so each point also records the engine's
+per-phase breakdown (sort / exchange / merge / dispatch) and the
+derived merge+dispatch ms per quantum that the K×K exchange work is
+gated on (bench_compare.py --sweep-names).
+
+--sweep-only skips the microbenchmark and fig9 sections (fast CI
+regression runs); --sweep-nodes 4096 (CSV) restricts the curve to the
+listed node counts.
 """
 
 import argparse
@@ -101,10 +109,17 @@ def scaleout_points(smoke):
 
 
 SUMMARY_RE = re.compile(r"host=([0-9.]+)s quanta=(\d+)")
+PHASE_RE = re.compile(r"phase\[sort=([0-9.]+)ms xchg=([0-9.]+)ms "
+                      r"merge=([0-9.]+)ms disp=([0-9.]+)ms\]")
 
 
 def run_cli_summary(binary, args):
-    """Run aqsim_cli once; return (wall_seconds, host_s, quanta)."""
+    """Run aqsim_cli once; return (wall_s, host_s, quanta, phases).
+
+    phases is the {sort, exchange, merge, dispatch} wall-clock ms dict
+    parsed from the summary's phase[...] section, or None when the run
+    was not started with --phase-stats.
+    """
     cmd = [str(binary)] + args
     start = time.monotonic()
     out = subprocess.run(cmd, check=True, capture_output=True,
@@ -113,10 +128,19 @@ def run_cli_summary(binary, args):
     m = SUMMARY_RE.search(out)
     if not m:
         sys.exit(f"bench.py: no summary line in output of {cmd}")
-    return wall, float(m.group(1)), int(m.group(2))
+    phases = None
+    p = PHASE_RE.search(out)
+    if p:
+        phases = {
+            "sort_ms": float(p.group(1)),
+            "exchange_ms": float(p.group(2)),
+            "merge_ms": float(p.group(3)),
+            "dispatch_ms": float(p.group(4)),
+        }
+    return wall, float(m.group(1)), int(m.group(2)), phases
 
 
-def sweep_points(smoke):
+def sweep_points(smoke, node_filter=None):
     """64 -> 4096 node scale-out curve for the sharded kernel.
 
     nas.ep rather than burst: burst's alltoall is O(n^2) packets and
@@ -124,26 +148,33 @@ def sweep_points(smoke):
     work constant so the curve isolates per-quantum engine cost.
     """
     node_counts = [64, 256] if smoke else [64, 256, 1024, 4096]
+    if node_filter:
+        node_counts = [n for n in node_counts if n in node_filter]
+        if not node_counts:
+            sys.exit(f"bench.py: --sweep-nodes {sorted(node_filter)} "
+                     f"matches no sweep point")
     return [
         (f"sweep_ep_{engine}/{nodes}", nodes, engine,
          ["--workload", "nas.ep", "--nodes", str(nodes), "--engine",
-          engine, "--policy", "fixed:10us", "--scale", "1"])
+          engine, "--policy", "fixed:10us", "--scale", "1",
+          "--phase-stats"])
         for nodes in node_counts
         for engine in ("sequential", "threaded")
     ]
 
 
-def run_sweep(cli, smoke):
+def run_sweep(cli, smoke, node_filter=None):
     reps = 1 if smoke else 2
     points = []
-    for name, nodes, engine, args in sweep_points(smoke):
+    for name, nodes, engine, args in sweep_points(smoke, node_filter):
         print(f"[bench] {name} (reps={reps})")
         best = None
         for _ in range(reps):
             sample = run_cli_summary(cli, args)
-            best = sample if best is None else min(best, sample)
-        wall, host_s, quanta = best
-        points.append({
+            if best is None or sample[0] < best[0]:
+                best = sample
+        wall, host_s, quanta, phases = best
+        point = {
             "name": name,
             "nodes": nodes,
             "engine": engine,
@@ -156,7 +187,17 @@ def run_sweep(cli, smoke):
             "summary_host_s": host_s,
             "quanta": quanta,
             "wall_ms_per_quantum": round(wall * 1e3 / quanta, 4),
-        })
+        }
+        if phases:
+            # Per-phase wall-clock summed over workers (threaded: the
+            # phases run in parallel, so this is CPU-time-like), plus
+            # the barrier merge+dispatch cost per quantum the K×K
+            # exchange is gated on.
+            point["phases_ms"] = phases
+            point["merge_dispatch_ms_per_quantum"] = round(
+                (phases["merge_ms"] + phases["dispatch_ms"]) / quanta,
+                4)
+        points.append(point)
     return points
 
 
@@ -209,38 +250,39 @@ def main():
     parser.add_argument("--sweep", action="store_true",
                         help="also run the 64..4096-node scale-out "
                              "curve (nas.ep, sequential + threaded)")
+    parser.add_argument("--sweep-only", action="store_true",
+                        help="run only the sweep (implies --sweep; "
+                             "skips micro and fig9 sections)")
+    parser.add_argument("--sweep-nodes", default=None,
+                        help="CSV of node counts to keep in the sweep "
+                             "(e.g. 4096)")
     parser.add_argument("--out", default=None,
-                        help="output path (default BENCH_<date>.json)")
+                        help="output path (default BENCH_<date>.json, "
+                             "suffixed b, c, ... if taken)")
     opts = parser.parse_args()
+    if opts.sweep_only:
+        opts.sweep = True
+    node_filter = None
+    if opts.sweep_nodes:
+        try:
+            node_filter = {int(n) for n in
+                           opts.sweep_nodes.split(",") if n}
+        except ValueError:
+            sys.exit(f"bench.py: bad --sweep-nodes "
+                     f"'{opts.sweep_nodes}' (want a CSV of ints)")
 
     build = (REPO / opts.build_dir).resolve()
     kernel = build / "bench" / "micro_kernel"
     sync = build / "bench" / "micro_sync"
     cli = build / "tools" / "aqsim_cli"
-    for binary in (kernel, sync, cli):
+    needed = (cli,) if opts.sweep_only else (kernel, sync, cli)
+    for binary in needed:
         if not binary.exists():
             sys.exit(f"bench.py: missing {binary}; build the "
                      f"'{opts.build_dir}' tree first (Release)")
 
     min_time = 0.02 if opts.smoke else 0.2
     reps = 1 if opts.smoke else 3
-
-    print(f"[bench] micro_kernel (min_time={min_time}s)")
-    micro_kernel = run_google_benchmark(kernel, KERNEL_FILTER,
-                                        min_time)
-    print(f"[bench] micro_sync (min_time={min_time}s)")
-    micro_sync = run_google_benchmark(sync, SYNC_FILTER, min_time)
-
-    scaleout = []
-    for name, args in scaleout_points(opts.smoke):
-        print(f"[bench] {name} (reps={reps})")
-        seconds = time_cli(cli, args, reps)
-        scaleout.append({
-            "name": name,
-            "args": args,
-            "reps": reps,
-            "seconds_min": round(seconds, 4),
-        })
 
     snapshot = {
         "date": datetime.date.today().isoformat(),
@@ -250,16 +292,44 @@ def main():
             "smoke": opts.smoke,
             "build_dir": opts.build_dir,
             "benchmark_min_time": min_time,
+            "sweep_only": opts.sweep_only,
         },
-        "micro_kernel": micro_kernel,
-        "micro_sync": micro_sync,
-        "scaleout": scaleout,
     }
-    if opts.sweep:
-        snapshot["sweep"] = run_sweep(cli, opts.smoke)
 
-    out_path = Path(opts.out) if opts.out else (
-        REPO / f"BENCH_{snapshot['date']}.json")
+    if not opts.sweep_only:
+        print(f"[bench] micro_kernel (min_time={min_time}s)")
+        snapshot["micro_kernel"] = run_google_benchmark(
+            kernel, KERNEL_FILTER, min_time)
+        print(f"[bench] micro_sync (min_time={min_time}s)")
+        snapshot["micro_sync"] = run_google_benchmark(
+            sync, SYNC_FILTER, min_time)
+
+        scaleout = []
+        for name, args in scaleout_points(opts.smoke):
+            print(f"[bench] {name} (reps={reps})")
+            seconds = time_cli(cli, args, reps)
+            scaleout.append({
+                "name": name,
+                "args": args,
+                "reps": reps,
+                "seconds_min": round(seconds, 4),
+            })
+        snapshot["scaleout"] = scaleout
+
+    if opts.sweep:
+        snapshot["sweep"] = run_sweep(cli, opts.smoke, node_filter)
+
+    if opts.out:
+        out_path = Path(opts.out)
+    else:
+        # Never clobber a committed snapshot: suffix b, c, ... so the
+        # lexicographically newest BENCH_*.json (what bench_compare.py
+        # gates against) is always the latest run of the day.
+        out_path = REPO / f"BENCH_{snapshot['date']}.json"
+        suffix = ord("b")
+        while out_path.exists():
+            out_path = REPO / f"BENCH_{snapshot['date']}{chr(suffix)}.json"
+            suffix += 1
     out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"[bench] wrote {out_path}")
 

@@ -13,6 +13,15 @@ Usage (what the bench-regress CI job runs):
         --benchmark_format=json > current.json
     python3 scripts/bench_compare.py --current current.json
 
+Sweep mode gates the scale-out curve instead: --sweep-names selects
+sweep points (e.g. sweep_ep_threaded/4096) from a bench.py --sweep
+snapshot and compares wall_ms_per_quantum (lower is better) against
+the newest committed BENCH_*.json:
+    python3 scripts/bench.py --sweep-only --sweep-nodes 4096 \
+        --out sweep-current.json
+    python3 scripts/bench_compare.py --current sweep-current.json \
+        --sweep-names sweep_ep_threaded/4096
+
 Exit codes: 0 within budget, 1 regression, 2 usage/data error.
 """
 
@@ -50,6 +59,59 @@ def items_per_second(records, name):
     return best
 
 
+def sweep_point(snapshot, name):
+    for rec in snapshot.get("sweep", []):
+        if rec.get("name") == name:
+            return rec
+    return None
+
+
+def compare_sweep(baseline, baseline_path, current, opts):
+    """Gate wall_ms_per_quantum of named sweep points (lower wins).
+
+    Both sides are bench.py snapshots with a "sweep" section. The
+    per-phase breakdown, when both sides carry it, is printed for the
+    log but not gated — phase split shifts are design signals, total
+    per-quantum wall time is the regression.
+    """
+    failures = []
+    for name in opts.sweep_names.split(","):
+        base = sweep_point(baseline, name)
+        cur = sweep_point(current, name)
+        if base is None:
+            sys.exit(f"bench_compare.py: sweep point '{name}' not in "
+                     f"baseline {baseline_path.name}")
+        if cur is None:
+            sys.exit(f"bench_compare.py: sweep point '{name}' not in "
+                     f"current run")
+        base_ms = base["wall_ms_per_quantum"]
+        cur_ms = cur["wall_ms_per_quantum"]
+        change = (cur_ms - base_ms) / base_ms
+        status = "ok"
+        if change > opts.sweep_max_regression:
+            status = "REGRESSED"
+            failures.append(name)
+        print(f"[bench-compare] {name}: {base_ms:.3f} -> {cur_ms:.3f} "
+              f"ms/quantum ({change:+.1%}) {status}")
+        for side, rec in (("base", base), ("cur ", cur)):
+            phases = rec.get("phases_ms")
+            if phases:
+                print(f"[bench-compare]   {side} phases "
+                      f"sort={phases['sort_ms']:.1f}ms "
+                      f"xchg={phases['exchange_ms']:.1f}ms "
+                      f"merge={phases['merge_ms']:.1f}ms "
+                      f"disp={phases['dispatch_ms']:.1f}ms")
+
+    if failures:
+        print(f"[bench-compare] FAIL: {', '.join(failures)} slowed "
+              f"more than {opts.sweep_max_regression:.0%} vs "
+              f"{baseline_path.name}")
+        return 1
+    print(f"[bench-compare] all gated sweep points within "
+          f"{opts.sweep_max_regression:.0%} of {baseline_path.name}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True,
@@ -62,6 +124,15 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional items/s drop "
                              "(default 0.25)")
+    parser.add_argument("--sweep-names", default=None,
+                        help="comma-separated sweep point names to "
+                             "gate on wall_ms_per_quantum instead of "
+                             "the micro benchmarks")
+    parser.add_argument("--sweep-max-regression", type=float,
+                        default=0.5,
+                        help="allowed fractional ms/quantum increase "
+                             "for sweep points (default 0.5; wall "
+                             "time on shared CI runners is noisy)")
     opts = parser.parse_args()
 
     baseline_path = (Path(opts.baseline) if opts.baseline
@@ -71,6 +142,9 @@ def main():
         current = json.loads(Path(opts.current).read_text())
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_compare.py: {err}")
+
+    if opts.sweep_names:
+        return compare_sweep(baseline, baseline_path, current, opts)
 
     # Baseline: a bench.py snapshot (micro_sync section); current: raw
     # google-benchmark output (benchmarks section). Accept either shape

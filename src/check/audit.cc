@@ -35,9 +35,9 @@ const char *const descriptions[numNames] = {
     "displaced (Fig. 3d accounting)",
     "threaded cross-quantum merge is strictly canonically ordered "
     "and never lands behind the receiver unaccounted",
-    "barrier-only shard-run merge emits deliveries in strictly "
-    "increasing (when, src, departTick) order, never behind the "
-    "receiver unaccounted",
+    "each destination shard's post-exchange merge emits deliveries "
+    "in strictly increasing (when, src, departTick) order, never "
+    "behind the receiver unaccounted",
 };
 
 } // namespace

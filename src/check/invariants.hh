@@ -19,10 +19,12 @@
  *   MailboxOrder         the threaded engine's cross-quantum merge is
  *                        strictly canonically ordered and never lands
  *                        behind the receiver except as a Straggler
- *   ShardMergeOrder      the barrier-only shard-run merge emits
- *                        deliveries in strictly increasing canonical
- *                        (when, src, departTick) order and never lands
- *                        behind the receiver except as a Straggler
+ *   ShardMergeOrder      each destination shard's post-exchange merge
+ *                        emits its deliveries in strictly increasing
+ *                        canonical (when, src, departTick) order and
+ *                        never lands behind the receiver except as a
+ *                        Straggler (per destination shard: the K×K
+ *                        exchange never materializes a global stream)
  *
  * The checker is always compiled and off by default: every hook is a
  * relaxed atomic load and a branch until enabled. Enable it from code
@@ -195,11 +197,13 @@ class InvariantChecker
     }
 
     /**
-     * The barrier-only k-way merge emitted one staged delivery:
-     * canonical key order vs the previous emission in this merge is
-     * @p strictly_after; it lands at @p when with the receiver at
-     * @p receiver_now, placed as @p cls. Coordinator thread only,
-     * workers parked (both engines share this via DeliveryBatch).
+     * A destination shard's post-exchange k-way merge emitted one
+     * staged delivery: canonical key order vs the previous emission
+     * in *that shard's* merge is @p strictly_after; it lands at
+     * @p when with the receiver at @p receiver_now, placed as @p cls.
+     * Called concurrently by every worker merging its own column
+     * (both engines share this via DeliveryBatch::mergeShard); the
+     * slow path touches only atomics.
      */
     void
     onShardMerge(bool strictly_after, DeliveryClass cls, Tick when,

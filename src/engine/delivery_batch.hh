@@ -1,28 +1,40 @@
 /**
  * @file
- * Per-shard staging of cross-quantum deliveries with a barrier-only
- * canonical merge — the engine half of the sharded event kernel
+ * K×K destination-sharded staging and exchange of cross-quantum
+ * deliveries — the engine half of the sharded event kernel
  * (sim/run_merge.hh is the sim half; docs/performance.md describes
  * the design).
  *
  * During a quantum, every delivery that lands at or beyond the quantum
  * boundary — in a conservative run (Q <= T), that is *every* delivery —
- * is staged into the run of the shard that owns the *source* node.
- * Only the worker executing the source transmits, so each run has
- * exactly one writer per quantum and staging is a plain vector append:
- * no per-message locking, no cross-shard synchronization. The old
+ * is staged by the worker that owns the *source* node. Because the
+ * destination is known at stage time, the key goes straight into the
+ * (source shard, destination shard) sub-run: K sorted sub-runs per
+ * source shard, each with exactly one writer per quantum, so staging
+ * stays a plain vector append with no per-message locking. The old
  * NodeMailbox keeps only the urgent path (stragglers and on-time
  * deliveries inside the open quantum, which must reach a live
  * receiver mid-quantum).
  *
- * At the barrier each worker sorts its own run once (closeRun), and
- * the coordinator k-way merges the sorted runs into the canonical
- * (when, src, departTick) stream, delivering into the destination
- * queues in an order that is a pure function of the run contents —
- * independent of worker count and thread interleaving. Both engines
- * dispatch through this class (the SequentialEngine is the K=1
- * degenerate case), so cross-engine bit-identity falls out of sharing
- * the code path rather than of two implementations agreeing.
+ * At quantum close each worker sorts its K sub-runs (closeRun); after
+ * an all-worker exchange barrier each worker k-way merges the K
+ * sub-runs destined for *its own* shard (mergeShard) and dispatches
+ * them into its own nodes' queues through the shard_exec seam — in
+ * parallel, with no cross-shard queue mutation and no global stream
+ * ever materialized. Every delivery for a destination node flows
+ * through that node's single column merger in canonical
+ * (when, src, departTick) order, so the per-queue schedule — and with
+ * it the full RunResult, finalStateHash and checkpoint images — is a
+ * pure function of the run contents, independent of worker count and
+ * thread interleaving. Both engines dispatch through this class (the
+ * SequentialEngine's mergeInto is the K=1 degenerate case), so
+ * cross-engine bit-identity falls out of sharing the code path rather
+ * than of two implementations agreeing.
+ *
+ * Sorting each (s, d) sub-run independently emits exactly the order a
+ * global sort of shard s's run followed by a stable partition by
+ * destination would: the idx tie-break *is* staging order, and
+ * duplicate keys share src and dst, hence a sub-run.
  */
 
 #ifndef AQSIM_ENGINE_DELIVERY_BATCH_HH
@@ -36,11 +48,17 @@
 #include "net/network_controller.hh"
 #include "net/packet.hh"
 #include "sim/run_merge.hh"
+#include "stats/phase_timing.hh"
 
 namespace aqsim::ckpt
 {
 class Writer;
 } // namespace aqsim::ckpt
+
+namespace aqsim::node
+{
+class NodeSimulator;
+} // namespace aqsim::node
 
 namespace aqsim::engine
 {
@@ -48,44 +66,76 @@ namespace aqsim::engine
 class Cluster;
 
 /**
- * K staged delivery runs (one per worker shard) merged canonically at
- * quantum barriers.
+ * K×K staged delivery sub-runs exchanged at quantum barriers.
  *
  * Concurrency contract (gate-protocol ownership, same discipline as
- * NodeMailbox::scratch_): run S is appended to only by the single
- * thread executing shard S's nodes, sorted by that same thread at its
- * quantum close, and read by the coordinator only after every worker
- * arrived at the barrier. No member is locked; the WorkerPool gate's
- * release/acquire pairs publish the writes.
+ * NodeMailbox::scratch_ — no member is locked):
+ *
+ *  - Sub-run (s, d) and payload row s are written only by the single
+ *    thread executing shard s's nodes (stage/closeRun), and only
+ *    between its beginQuantum(s) and the exchange barrier.
+ *  - After every worker reached the exchange barrier, column d —
+ *    sub-runs (0..K-1, d) and its lane scratch — is read, drained of
+ *    its payload elements (each element belongs to exactly one
+ *    column), and cleared only by shard d's worker (mergeShard).
+ *  - Payload row s is cleared by its owner at the *next*
+ *    beginQuantum(s); the gate release/acquire orders that after
+ *    every column's merge of the previous quantum.
+ *
+ * The WorkerPool gate and the exchange WorkerBarrier publish all
+ * cross-thread handoffs (release/acquire on their epochs).
  */
 class DeliveryBatch
 {
   public:
     /**
      * @param num_nodes cluster size (defines the shard map)
-     * @param num_shards worker count K; runs are keyed by the
-     *        contiguous ceil(num_nodes/K) shard of the *source* node,
-     *        matching WorkerPool::shardRange.
+     * @param num_shards worker count K; sub-runs are keyed by the
+     *        contiguous ceil(num_nodes/K) shards of the source and
+     *        destination nodes, matching WorkerPool::shardRange.
+     * @param phase_stats measure per-phase wall-clock (phases());
+     *        off by default so the hot path makes no clock calls.
      */
-    DeliveryBatch(std::size_t num_nodes, std::size_t num_shards);
+    DeliveryBatch(std::size_t num_nodes, std::size_t num_shards,
+                  bool phase_stats = false);
+
+    /**
+     * Owner of shard @p s = shardOf(pkt->src): reset row s for a new
+     * quantum (drops the previous quantum's dispatched payload,
+     * keeping capacity). First per-quantum step of the owning worker.
+     */
+    void beginQuantum(std::size_t s);
 
     /**
      * Stage a delivery of @p pkt at @p when (>= the quantum boundary)
-     * into the source node's shard run. Called by the shard's owning
-     * worker only (via the controller's placement path).
+     * into the (source shard, destination shard) sub-run. Called by
+     * the source shard's owning worker only (via the controller's
+     * placement path).
      */
     void stage(const net::PacketPtr &pkt, Tick when,
                net::DeliveryKind kind);
 
-    /** Sort shard @p s's run into canonical order; called by the
-     * owning worker as the last step of its quantum. */
+    /** Sort shard @p s's K destination sub-runs into canonical order;
+     * called by the owning worker as the last step before the
+     * exchange barrier. */
     void closeRun(std::size_t s);
 
     /**
-     * Coordinator, at the barrier: k-way merge every sorted run in
-     * canonical (when, src, departTick) order, delivering each packet
-     * into its destination node and reporting the merge order to the
-     * invariant checker. Leaves every run empty.
+     * Owner of destination shard @p d, after the exchange barrier:
+     * k-way merge the K sorted sub-runs destined for shard d in
+     * canonical (when, src, departTick) order, dispatch each packet
+     * into its destination node through the shard_exec seam, report
+     * the merge order to the invariant checker, and clear column d's
+     * keys. Runs concurrently with other shards' mergeShard calls.
+     *
+     * @return number of deliveries merged into shard d.
+     */
+    std::size_t mergeShard(std::size_t d, Cluster &cluster);
+
+    /**
+     * Single-threaded wrapper (SequentialEngine, tests): close any
+     * unsorted rows, merge every destination column, reset every row.
+     * Equivalent to one full exchange at K=1. Leaves the batch empty.
      *
      * @return number of deliveries merged.
      */
@@ -96,15 +146,34 @@ class DeliveryBatch
 
     /** Lifetime counters: deterministic in any run where delivery
      * classification is deterministic, so they may enter checkpoint
-     * images (serialize). */
-    std::uint64_t totalStaged() const { return totalStaged_; }
-    std::uint64_t totalMerged() const { return totalMerged_; }
+     * images (serialize). Summed over the per-shard slots; call with
+     * workers parked. */
+    std::uint64_t totalStaged() const;
+    std::uint64_t totalMerged() const;
 
-    std::size_t numShards() const { return runs_.size(); }
+    std::size_t numShards() const { return shards_; }
+
+    /** Keys currently staged from shard @p s to shard @p d (tests). */
+    std::size_t
+    stagedBetween(std::size_t s, std::size_t d) const
+    {
+        return subs_[s * shards_ + d].keys.size();
+    }
+
+    /** Capacity of sub-run (s, d)'s key buffer — evidence that the
+     * steady state reuses buffers instead of reallocating (tests). */
+    std::size_t
+    subRunCapacity(std::size_t s, std::size_t d) const
+    {
+        return subs_[s * shards_ + d].keys.capacity();
+    }
 
     /** Checkpoint section payload: pending count (must be 0 at a
      * boundary) plus the lifetime counters. */
     void serialize(ckpt::Writer &w) const;
+
+    /** Accumulated per-phase wall-clock (all-zero unless enabled). */
+    const stats::PhaseTimes &phases() const { return phases_; }
 
   private:
     /** Payload referenced by sim::RunKey::idx; touched on dispatch. */
@@ -114,24 +183,61 @@ class DeliveryBatch
         net::DeliveryKind kind;
     };
 
-    /** One shard's staging run: SoA keys + cold payload. */
-    struct Run
+    /** Keys staged from one source shard to one destination shard,
+     * padded so adjacent sub-runs' appends never share a line. */
+    struct alignas(64) SubRun
     {
         std::vector<sim::RunKey> keys;
+    };
+
+    /** One source shard's payload row (single writer per quantum). */
+    struct alignas(64) Row
+    {
         std::vector<Staged> payload;
+        /** Lifetime stage count (this shard's slot of totalStaged). */
+        std::uint64_t staged = 0;
         bool sorted = false;
     };
 
-    std::size_t shardOf(NodeId src) const { return src / per_; }
+    /** A merged delivery resolved to its destination, staged in the
+     * lane scratch so dispatch can prefetch ahead. */
+    struct Resolved
+    {
+        node::NodeSimulator *node;
+        net::PacketPtr pkt;
+        Tick when;
+        net::DeliveryKind kind;
+        /** Canonical order vs the previous merged key held. */
+        bool strictOk;
+    };
 
-    std::vector<Run> runs_;
-    /** Scratch views handed to the merger (reused per quantum). */
-    std::vector<sim::RunView> views_;
-    sim::RunMerger merger_;
+    /** One destination shard's merge scratch (single writer per
+     * exchange; buffers reused across quanta). */
+    struct alignas(64) Lane
+    {
+        sim::RunMerger merger;
+        std::vector<sim::RunView> views;
+        std::vector<Resolved> items;
+        /** Lifetime merge count (this shard's slot of totalMerged). */
+        std::uint64_t merged = 0;
+    };
+
+    std::size_t shardOf(NodeId id) const { return id / per_; }
+
+    SubRun &
+    subRun(std::size_t s, std::size_t d)
+    {
+        return subs_[s * shards_ + d];
+    }
+
     /** Nodes per shard (ceil division, same map as shardRange). */
+    std::size_t shards_;
     std::size_t per_;
-    std::uint64_t totalStaged_ = 0;
-    std::uint64_t totalMerged_ = 0;
+    /** K×K sub-run key store, row-major (source-major). */
+    std::vector<SubRun> subs_;
+    std::vector<Row> rows_;
+    std::vector<Lane> lanes_;
+    stats::PhaseTimes phases_;
 };
 
 } // namespace aqsim::engine

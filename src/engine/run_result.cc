@@ -11,7 +11,7 @@ namespace aqsim::engine
 std::string
 RunResult::summary() const
 {
-    char buf[320];
+    char buf[448];
     int len = std::snprintf(
         buf, sizeof(buf),
         "%s/%s n=%zu sim=%.3fms host=%.3fs quanta=%llu pkts=%llu "
@@ -43,6 +43,17 @@ RunResult::summary() const
         len += std::snprintf(
             buf + len, sizeof(buf) - len, " restored@q%llu",
             static_cast<unsigned long long>(restoredFromQuantum));
+    }
+    if (showPhaseStats && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof(buf)) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len,
+            " phase[sort=%.2fms xchg=%.2fms merge=%.2fms "
+            "disp=%.2fms]",
+            static_cast<double>(phaseSortNs) * 1e-6,
+            static_cast<double>(phaseExchangeNs) * 1e-6,
+            static_cast<double>(phaseMergeNs) * 1e-6,
+            static_cast<double>(phaseDispatchNs) * 1e-6);
     }
     return buf;
 }

@@ -55,6 +55,21 @@ struct RunResult
     /** FNV-1a fingerprint of the final cluster state (0 = not taken). */
     std::uint64_t finalStateHash = 0;
 
+    /**
+     * Wall-clock spent in each exchange phase across all workers
+     * (stats/phase_timing.hh), measured only when
+     * EngineOptions::phaseStats was on. Nondeterministic by nature:
+     * never checkpointed or hashed, and only printed when
+     * showPhaseStats is set so default summaries stay byte-comparable
+     * across runs.
+     */
+    std::uint64_t phaseSortNs = 0;
+    std::uint64_t phaseExchangeNs = 0;
+    std::uint64_t phaseMergeNs = 0;
+    std::uint64_t phaseDispatchNs = 0;
+    /** Append the phase section to summary(). */
+    bool showPhaseStats = false;
+
     /** Per-rank application completion ticks. */
     std::vector<Tick> finishTicks;
     /** Per-quantum records (only when timeline recording was on). */

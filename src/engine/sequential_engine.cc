@@ -14,6 +14,7 @@
 #include "engine/delivery_batch.hh"
 #include "engine/shard_exec.hh"
 #include "engine/watchdog.hh"
+#include "stats/phase_timing.hh"
 
 namespace aqsim::engine
 {
@@ -33,7 +34,7 @@ class CoSim : public net::DeliveryScheduler
           ckpt::RunCheckpointer *checkpointer)
         : cluster_(cluster), sync_(sync), options_(options),
           watchdog_(watchdog), checkpointer_(checkpointer),
-          batch_(cluster.numNodes(), 1)
+          batch_(cluster.numNodes(), 1, options.phaseStats)
     {
         Rng host_rng(cluster.params().seed ^ 0x9d5c0fb3ULL);
         const std::size_t n = cluster.numNodes();
@@ -80,6 +81,9 @@ class CoSim : public net::DeliveryScheduler
     }
 
     net::DeliveryScheduler *scheduler() { return this; }
+
+    /** Accumulated exchange-phase wall-clock (RunResult reporting). */
+    const stats::PhaseTimes &phases() const { return batch_.phases(); }
 
     /** DeliveryScheduler: place a packet into its destination node. */
     Tick
@@ -136,8 +140,8 @@ class CoSim : public net::DeliveryScheduler
             // Fig. 3 scenario (2): receiver has not yet reached the
             // arrival time; schedule it exactly (urgent: the receiver
             // is live inside the quantum, so this cannot wait for the
-            // barrier merge).
-            dst.node->nic().deliverAt(pkt, ideal);
+            // exchange merge).
+            deliverUrgent(*dst.node, pkt, ideal);
             kind = net::DeliveryKind::OnTime;
             requeue(pkt->dst);
             return ideal;
@@ -161,7 +165,7 @@ class CoSim : public net::DeliveryScheduler
         }
         // Straggler: cannot deliver in the past; deliver "now".
         const Tick actual = std::max(rpos, dst.node->queue().now());
-        dst.node->nic().deliverAt(pkt, actual);
+        deliverUrgent(*dst.node, pkt, actual);
         kind = net::DeliveryKind::Straggler;
         requeue(pkt->dst);
         return actual;
@@ -371,11 +375,12 @@ class CoSim : public net::DeliveryScheduler
             s.atBarrier = true;
         }
 
-        // Canonical barrier merge, shared with the ThreadedEngine
-        // (K=1 here): staged cross-quantum deliveries enter the
-        // destination queues in (when, src, departTick) order before
-        // the quantum completes, keeping them visible to the deadlock
-        // check and inside the checkpoint cut.
+        // Canonical exchange merge, shared with the ThreadedEngine
+        // (K=1 here, the degenerate single-column exchange): staged
+        // cross-quantum deliveries enter the destination queues in
+        // (when, src, departTick) order before the quantum completes,
+        // keeping them visible to the deadlock check and inside the
+        // checkpoint cut.
         batch_.closeRun(0);
         batch_.mergeInto(cluster_);
 
@@ -525,6 +530,15 @@ SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
     result.finalStateHash = cluster.stateHash();
+    result.showPhaseStats = options_.phaseStats;
+    result.phaseSortNs =
+        cosim.phases().total(stats::EnginePhase::Sort);
+    result.phaseExchangeNs =
+        cosim.phases().total(stats::EnginePhase::Exchange);
+    result.phaseMergeNs =
+        cosim.phases().total(stats::EnginePhase::Merge);
+    result.phaseDispatchNs =
+        cosim.phases().total(stats::EnginePhase::Dispatch);
     if (checkpointer)
         checkpointer->finish(result);
     return result;

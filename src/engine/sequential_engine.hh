@@ -84,6 +84,16 @@ struct EngineOptions
     double watchdogSeconds = 0.0;
 
     /**
+     * Measure per-phase exchange wall-clock (sort/exchange/merge/
+     * dispatch) and append it to summary(). Off by default: the
+     * timings are real clock readings — nondeterministic — so they
+     * must not appear in summaries that runs byte-compare (ckpt
+     * smoke), and a disabled run makes no clock calls on the hot
+     * path.
+     */
+    bool phaseStats = false;
+
+    /**
      * Write a checkpoint after every N completed quanta (0 = never).
      * Requires checkpointDir. See docs/checkpoint-restore.md.
      */

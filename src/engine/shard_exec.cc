@@ -21,10 +21,12 @@ runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
     // No invariant hook here: the receiver is live, so an on-time
     // parked delivery may benignly trail queue.now() by the placement
     // race the engine already clamps for. The race-free merge check
-    // happens in DeliveryBatch::mergeInto.
+    // happens in DeliveryBatch::mergeShard.
     auto deliver = [&](std::vector<ParkedDelivery> &batch) {
-        for (auto &d : batch)
-            node.nic().deliverAt(d.pkt, std::max(d.when, queue.now()));
+        for (auto &d : batch) {
+            node.nic().deliverAt(std::move(d.pkt),
+                                 std::max(d.when, queue.now()));
+        }
     };
 
     mbx.open();
@@ -65,6 +67,21 @@ void
 snapToQuantumEnd(node::NodeSimulator &node, Tick qe)
 {
     node.queue().fastForwardTo(qe);
+}
+
+void
+dispatchDelivery(node::NodeSimulator &node, net::PacketPtr pkt,
+                 Tick when)
+{
+    const Tick at = std::max(when, node.queue().now());
+    node.nic().deliverAt(std::move(pkt), at);
+}
+
+void
+deliverUrgent(node::NodeSimulator &node, const net::PacketPtr &pkt,
+              Tick when)
+{
+    node.nic().deliverAt(pkt, when);
 }
 
 } // namespace aqsim::engine

@@ -4,14 +4,17 @@
  * mutate a node's sim::EventQueue directly.
  *
  * Quantum-local execution is the half of the sharded kernel that runs
- * with no cross-shard synchronization (the other half — the barrier
- * merge — is engine/delivery_batch.hh). Concentrating every direct
- * queue mutation (runOne / fastForwardTo) behind these four functions
- * keeps the engines' control flow free of event-kernel details and
- * lets tools/analyze enforce the boundary statically: the
- * "queue-seam" rule bans EventQueue mutators in engine code outside
- * this file, so a future engine cannot quietly bypass the canonical
- * merge by scheduling into another shard's queue (see
+ * with no cross-shard synchronization (the other half — the K×K
+ * exchange — is engine/delivery_batch.hh). Concentrating every direct
+ * queue mutation (runOne / fastForwardTo / NIC delivery scheduling)
+ * behind these functions keeps the engines' control flow free of
+ * event-kernel details and lets tools/analyze enforce the boundary
+ * statically: the "queue-seam" rule bans EventQueue mutators *and*
+ * NicModel::deliverAt in engine code outside this file, so a future
+ * engine cannot quietly bypass the canonical per-destination merge by
+ * scheduling or delivering into another shard's queue. Post-exchange
+ * dispatch is only legal through dispatchDelivery, called by the
+ * worker that owns the destination node's shard (see
  * docs/static-analysis.md).
  */
 
@@ -19,6 +22,7 @@
 #define AQSIM_ENGINE_SHARD_EXEC_HH
 
 #include "base/types.hh"
+#include "net/packet.hh"
 
 namespace aqsim::node
 {
@@ -54,6 +58,26 @@ void advanceNodeTo(node::NodeSimulator &node, Tick tick);
 
 /** Snap an event-free node to the quantum boundary @p qe. */
 void snapToQuantumEnd(node::NodeSimulator &node, Tick qe);
+
+/**
+ * Schedule a merged cross-quantum delivery of @p pkt into @p node at
+ * @p when, clamped to the receiver's clock (a restore replay can find
+ * the receiver already past a staged tick). Called only by the worker
+ * that owns the destination node's shard, from
+ * DeliveryBatch::mergeShard. Takes the packet by value: the exchange
+ * hands each packet's last reference straight through to the NIC's
+ * delivery event, refcount-free.
+ */
+void dispatchDelivery(node::NodeSimulator &node, net::PacketPtr pkt,
+                      Tick when);
+
+/**
+ * Deliver @p pkt into a *live* receiver mid-quantum at exactly
+ * @p when (the urgent on-time/straggler path: the caller has already
+ * resolved the tick against the receiver's position).
+ */
+void deliverUrgent(node::NodeSimulator &node,
+                   const net::PacketPtr &pkt, Tick when);
 
 } // namespace aqsim::engine
 

@@ -13,6 +13,7 @@
 #include "engine/shard_exec.hh"
 #include "engine/watchdog.hh"
 #include "engine/worker_pool.hh"
+#include "stats/phase_timing.hh"
 
 namespace aqsim::engine
 {
@@ -97,17 +98,28 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         WorkerPool::resolveWorkerCount(options_.numWorkers, n);
 
     std::vector<NodeMailbox> mailboxes(n);
-    DeliveryBatch batch(n, workers);
+    DeliveryBatch batch(n, workers, options_.phaseStats);
     ThreadedScheduler scheduler(mailboxes, batch, sync);
     cluster.controller().setScheduler(&scheduler);
 
+    // K×K exchange, one gate round trip per quantum: each worker
+    // executes its shard, sorts its K destination sub-runs, meets the
+    // other workers at the exchange barrier, then merges + dispatches
+    // the column destined for its *own* shard — so the former
+    // coordinator-serial merge wall runs K-wide, with no cross-shard
+    // queue mutation (DeliveryBatch documents the ownership protocol).
+    WorkerBarrier exchange(workers);
     WorkerPool pool(workers, [&](std::size_t w, Tick qe) {
+        batch.beginQuantum(w);
         const auto [begin, end] = WorkerPool::shardRange(w, workers, n);
         for (std::size_t id = begin; id < end; ++id)
             runNodeQuantum(cluster.node(id), mailboxes[id], qe);
-        // One sort per shard per quantum: the worker owns its run, so
-        // sorting here parallelizes the merge's preprocessing.
+        // One sort per shard per quantum: the worker owns its
+        // sub-runs, so sorting here parallelizes the exchange's
+        // preprocessing.
         batch.closeRun(w);
+        exchange.arriveAndWait();
+        batch.mergeShard(w, cluster);
     });
 
     ckpt::RunCkptOptions ck;
@@ -164,13 +176,13 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
                   "applications incomplete\n%s",
                   cluster.progressReport().c_str());
         }
+        // The exchange merge happens *inside* the quantum, after the
+        // workers' internal barrier: every destination node's staged
+        // deliveries flow through its own shard's column merger in
+        // canonical (when, src, departTick) order — identical for
+        // every worker count — and are already dispatched (visible to
+        // the deadlock check) when the gate round trip completes.
         pool.runQuantum(sync.quantumEnd());
-        // Barrier-only merge: every worker has arrived (acquire), so
-        // the sorted shard runs are visible and the canonical k-way
-        // merge delivers cross-quantum packets in (when, src,
-        // departTick) order — identical for every worker count, and
-        // staged packets become visible to the deadlock check.
-        batch.mergeInto(cluster);
         if (watchdog)
             watchdog->kick();
         const auto now_wall = std::chrono::steady_clock::now();
@@ -226,6 +238,15 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     result.finishTicks = cluster.finishTicks();
     result.timeline = sync.stats().timeline();
     result.finalStateHash = cluster.stateHash();
+    result.showPhaseStats = options_.phaseStats;
+    result.phaseSortNs =
+        batch.phases().total(stats::EnginePhase::Sort);
+    result.phaseExchangeNs =
+        batch.phases().total(stats::EnginePhase::Exchange);
+    result.phaseMergeNs =
+        batch.phases().total(stats::EnginePhase::Merge);
+    result.phaseDispatchNs =
+        batch.phases().total(stats::EnginePhase::Dispatch);
     if (checkpointer)
         checkpointer->finish(result);
     return result;

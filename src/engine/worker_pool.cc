@@ -11,43 +11,64 @@ Tick
 NodeMailbox::park(const net::PacketPtr &pkt, Tick ideal, Tick qe,
                   net::DeliveryKind &kind, bool &parked)
 {
-    base::MutexLock lock(mutex_);
     parked = false;
-    if (atBarrier_) {
-        // Fig. 3d: receiver already closed its quantum slice. Not
-        // stored: the caller stages it for the canonical barrier
-        // merge (DeliveryBatch).
+    // Lock-free fast path — Fig. 3d: receiver already closed its
+    // quantum slice. Not stored: the caller stages it for the
+    // canonical exchange merge (DeliveryBatch).
+    if (atBarrier_.load(std::memory_order_seq_cst)) {
+        kind = net::DeliveryKind::NextQuantum;
+        return qe;
+    }
+    // Dekker handshake with close(): claim *before* re-reading the
+    // barrier flag (both seq_cst; see the class comment). Either the
+    // re-read sees the barrier and we defer, or close() sees this
+    // claim and waits for it to resolve.
+    claims_.fetch_add(1, std::memory_order_seq_cst);
+    if (atBarrier_.load(std::memory_order_seq_cst)) {
+        claims_.fetch_sub(1, std::memory_order_release);
         kind = net::DeliveryKind::NextQuantum;
         return qe;
     }
     Tick actual;
-    const Tick rnow = currentTick_.load(std::memory_order_acquire);
-    if (ideal >= rnow) {
-        kind = net::DeliveryKind::OnTime;
-        actual = ideal;
-    } else {
-        kind = net::DeliveryKind::Straggler;
-        actual = std::min(rnow, qe);
+    {
+        base::MutexLock lock(mutex_);
+        const Tick rnow =
+            currentTick_.load(std::memory_order_acquire);
+        if (ideal >= rnow) {
+            kind = net::DeliveryKind::OnTime;
+            actual = ideal;
+        } else {
+            kind = net::DeliveryKind::Straggler;
+            actual = std::min(rnow, qe);
+        }
+        incoming_.push_back(ParkedDelivery{pkt, actual, kind});
+        urgent_.store(true, std::memory_order_release);
     }
-    incoming_.push_back(ParkedDelivery{pkt, actual, kind});
-    urgent_.store(true, std::memory_order_release);
+    // The release decrement pairs with close()'s acquire wait: the
+    // push above is visible wherever the claim is seen resolved.
+    claims_.fetch_sub(1, std::memory_order_release);
     parked = true;
     return actual;
-}
-
-void
-NodeMailbox::open()
-{
-    base::MutexLock lock(mutex_);
-    atBarrier_ = false;
 }
 
 bool
 NodeMailbox::close()
 {
-    base::MutexLock lock(mutex_);
-    atBarrier_ = true;
-    return !incoming_.empty();
+    // Dekker partner of park()'s claim (see the class comment).
+    atBarrier_.store(true, std::memory_order_seq_cst);
+    if (claims_.load(std::memory_order_seq_cst) != 0) {
+        // A producer saw the node open and is parking right now; its
+        // push-or-defer resolves in a bounded handful of
+        // instructions, so waiting for it keeps the old "saw open =>
+        // pushed before close returns" guarantee.
+        detail::spinUntil([&] {
+            return claims_.load(std::memory_order_acquire) == 0;
+        });
+    }
+    // Quiescent now: claims are drained and any later producer sees
+    // the barrier flag, so the empty hint is exact and the common
+    // empty case returns without ever touching the mutex.
+    return urgent_.load(std::memory_order_acquire);
 }
 
 std::vector<ParkedDelivery> &

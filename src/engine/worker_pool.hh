@@ -45,6 +45,41 @@
 namespace aqsim::engine
 {
 
+namespace detail
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+constexpr int spinIterations = 256;
+
+/**
+ * Spin briefly for the low-latency common case, then yield so an
+ * oversubscribed host (more workers than cores) makes progress
+ * instead of burning a timeslice.
+ */
+template <typename Pred>
+inline void
+spinUntil(Pred pred)
+{
+    for (int i = 0; i < spinIterations; ++i) {
+        if (pred())
+            return;
+        cpuRelax();
+    }
+    while (!pred())
+        std::this_thread::yield();
+}
+
+} // namespace detail
+
 /**
  * Sense-reversing barrier coordinating one releasing thread (the
  * coordinator) with a fixed set of workers, one epoch per quantum.
@@ -85,7 +120,7 @@ class QuantumGate
     Quantum
     waitRelease(std::uint64_t &seen_epoch)
     {
-        spinUntil([&] {
+        detail::spinUntil([&] {
             return epoch_.load(std::memory_order_acquire) != seen_epoch;
         });
         ++seen_epoch;
@@ -105,48 +140,67 @@ class QuantumGate
     void
     waitAllArrived()
     {
-        spinUntil([&] {
+        detail::spinUntil([&] {
             return arrived_.load(std::memory_order_acquire) ==
                    workers_;
         });
     }
 
   private:
-    static void
-    cpuRelax()
-    {
-#if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
-#elif defined(__aarch64__)
-        asm volatile("yield" ::: "memory");
-#endif
-    }
-
-    /**
-     * Spin briefly for the low-latency common case, then yield so an
-     * oversubscribed host (more workers than cores) makes progress
-     * instead of burning a timeslice.
-     */
-    template <typename Pred>
-    static void
-    spinUntil(Pred pred)
-    {
-        for (int i = 0; i < spinIterations; ++i) {
-            if (pred())
-                return;
-            cpuRelax();
-        }
-        while (!pred())
-            std::this_thread::yield();
-    }
-
-    static constexpr int spinIterations = 256;
-
     alignas(64) std::atomic<std::uint64_t> epoch_{0};
     alignas(64) std::atomic<std::size_t> arrived_{0};
     /** Published by release(); read by workers after the epoch bump. */
     Tick quantumEnd_ = 0;
     bool stop_ = false;
+    const std::size_t workers_;
+};
+
+/**
+ * All-worker rendezvous *inside* one released quantum, with no
+ * coordinator involvement: the ThreadedEngine separates its execute
+ * and exchange phases with one of these instead of a second gate
+ * round trip, so the two-phase quantum costs no extra coordinator
+ * wake-up — and is free at K=1.
+ *
+ * Everything any worker wrote before its arriveAndWait() is visible
+ * to every worker after the call returns (release sequence on the
+ * arrival count into the last arriver, release/acquire on the epoch
+ * out of it). Reuse across quanta is safe because the enclosing
+ * QuantumGate cycle guarantees every worker has left the barrier
+ * before any worker can re-enter it.
+ */
+class WorkerBarrier
+{
+  public:
+    explicit WorkerBarrier(std::size_t workers) : workers_(workers) {}
+
+    WorkerBarrier(const WorkerBarrier &) = delete;
+    WorkerBarrier &operator=(const WorkerBarrier &) = delete;
+
+    /** Worker: arrive and block until every worker has arrived. */
+    void
+    arriveAndWait()
+    {
+        if (workers_ == 1)
+            return;
+        const std::uint64_t epoch =
+            epoch_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            workers_) {
+            // Last arriver: reset the count *before* the epoch bump
+            // that lets anyone (and eventually itself) re-enter.
+            arrived_.store(0, std::memory_order_relaxed);
+            epoch_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        detail::spinUntil([&] {
+            return epoch_.load(std::memory_order_acquire) != epoch;
+        });
+    }
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> epoch_{0};
+    alignas(64) std::atomic<std::size_t> arrived_{0};
     const std::size_t workers_;
 };
 
@@ -184,11 +238,18 @@ struct ParkedDelivery
  * acquisition into a reusable scratch buffer, so the steady state
  * allocates nothing and never holds the lock while delivering.
  *
- * The owner-side handshake (open/close) shares the mutex with the
- * producers: a placement that saw the node open has pushed before
- * close() returns, and everything placed after close() is deferred to
- * the quantum boundary — the property the canonical barrier merge
- * depends on.
+ * The owner-side handshake (open/close) is lock-free in the common
+ * empty case — across a cluster that is K×N avoided uncontended
+ * mutex acquisitions per quantum. It still guarantees the property
+ * the canonical exchange merge depends on: a placement that saw the
+ * node open has pushed before close() returns, and everything placed
+ * after close() is deferred to the quantum boundary. The mechanism is
+ * a Dekker-style pairing: a producer increments claims_ (seq_cst)
+ * *before* re-reading atBarrier_, and close() stores atBarrier_
+ * (seq_cst) *before* reading claims_ — sequential consistency forbids
+ * both sides reading the stale value, so close() either sees the
+ * claim (and waits for it to resolve into a push or a deferral) or
+ * the producer sees the barrier (and defers).
  */
 class NodeMailbox
 {
@@ -205,11 +266,16 @@ class NodeMailbox
               net::DeliveryKind &kind, bool &parked)
         AQSIM_EXCLUDES(mutex_);
 
-    /** Owner: open the node's quantum slice. */
-    void open() AQSIM_EXCLUDES(mutex_);
+    /** Owner: open the node's quantum slice (lock-free). */
+    void
+    open()
+    {
+        atBarrier_.store(false, std::memory_order_release);
+    }
 
     /**
-     * Owner: close the slice atomically w.r.t. producers.
+     * Owner: close the slice atomically w.r.t. producers; lock-free
+     * whenever the mailbox is empty and unclaimed (the common case).
      * @return true if deliveries raced in before the close.
      */
     bool close() AQSIM_EXCLUDES(mutex_);
@@ -243,8 +309,14 @@ class NodeMailbox
      * deliberately not GUARDED_BY — it is touched outside the lock by
      * whichever single thread owns the drain. */
     std::vector<ParkedDelivery> scratch_;
-    bool atBarrier_ AQSIM_GUARDED_BY(mutex_) = true;
+    /** True between close() and open(); the Dekker partner of
+     * claims_ (see class comment). */
+    std::atomic<bool> atBarrier_{true};
+    /** Producers in flight between their claim and its resolution. */
+    std::atomic<std::uint32_t> claims_{0};
     std::atomic<Tick> currentTick_{0};
+    /** Maintained under mutex_ as "incoming_ is non-empty": set by
+     * the producer after its push, cleared by the drain's swap. */
     std::atomic<bool> urgent_{false};
 };
 

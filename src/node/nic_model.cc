@@ -51,12 +51,12 @@ NicModel::setRxHandler(RxHandler handler)
 }
 
 void
-NicModel::deliverAt(const net::PacketPtr &pkt, Tick when)
+NicModel::deliverAt(net::PacketPtr pkt, Tick when)
 {
     AQSIM_ASSERT(pkt->dst == id_);
     queue_.schedule(
         when,
-        [this, pkt] {
+        [this, pkt = std::move(pkt)] {
             ++statRxFrames_;
             statRxBytes_ += pkt->bytes;
             if (rxHandler_)

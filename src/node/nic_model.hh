@@ -67,9 +67,12 @@ class NicModel
 
     /**
      * Schedule delivery of @p pkt at @p when in the node's event queue
-     * (called by the engine's DeliveryScheduler).
+     * (called by the engine's delivery paths — see engine/shard_exec).
+     * By value: callers handing over their last reference (the
+     * exchange dispatch, mailbox drains) move it straight into the
+     * delivery event with no refcount traffic.
      */
-    void deliverAt(const net::PacketPtr &pkt, Tick when);
+    void deliverAt(net::PacketPtr pkt, Tick when);
 
     /** Tick until which the transmitter is busy serializing. */
     Tick txBusyUntil() const { return txBusyUntil_; }

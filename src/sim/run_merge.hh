@@ -2,11 +2,15 @@
  * @file
  * SoA key store and deterministic k-way merge for sorted shard runs.
  *
- * The engines batch cross-quantum deliveries into per-shard *runs*
- * during a quantum and merge them into one canonical stream at the
- * barrier (see docs/performance.md, "sharded kernel"). This header is
- * the sim-layer kernel for that: a plain-old-data sort key and a
- * 4-ary-heap merger over already-sorted runs.
+ * The engines batch cross-quantum deliveries into (source shard,
+ * destination shard) *sub-runs* during a quantum; after the exchange
+ * barrier each destination shard k-way merges the column of sub-runs
+ * addressed to it into its own canonical stream (see
+ * docs/performance.md, "sharded kernel" and "parallel dispatch").
+ * This header is the sim-layer kernel for that: a plain-old-data sort
+ * key and a 4-ary-heap merger over already-sorted runs. One RunMerger
+ * lives in each destination lane and is reset per quantum, so K
+ * mergers run concurrently over disjoint columns.
  *
  * The key is structure-of-arrays on purpose: sorting a run and merging
  * k runs touch only these 24-byte PODs; the payload a key refers to

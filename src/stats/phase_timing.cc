@@ -1,0 +1,35 @@
+#include "stats/phase_timing.hh"
+
+namespace aqsim::stats
+{
+
+const char *
+enginePhaseName(EnginePhase phase)
+{
+    switch (phase) {
+      case EnginePhase::Sort:
+        return "sort";
+      case EnginePhase::Exchange:
+        return "exchange";
+      case EnginePhase::Merge:
+        return "merge";
+      case EnginePhase::Dispatch:
+        return "dispatch";
+    }
+    return "?";
+}
+
+PhaseTimes::PhaseTimes(std::size_t workers, bool enabled)
+    : slots_(workers), enabled_(enabled)
+{}
+
+std::uint64_t
+PhaseTimes::total(EnginePhase phase) const
+{
+    std::uint64_t ns = 0;
+    for (const Slot &slot : slots_)
+        ns += slot.ns[static_cast<unsigned>(phase)];
+    return ns;
+}
+
+} // namespace aqsim::stats

@@ -1,0 +1,8 @@
+struct Nic;
+void exchange(Nic &nic, Nic *other)
+{
+    nic.deliverAt(0, 5);   // direct dispatch bypasses the seam
+    other->deliverAt(0, 9);
+    dispatchDelivery();    // the seam helpers themselves are fine
+    deliverUrgent();
+}

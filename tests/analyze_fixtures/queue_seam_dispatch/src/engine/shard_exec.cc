@@ -1,0 +1,5 @@
+struct Nic;
+void dispatchDelivery(Nic &nic)
+{
+    nic.deliverAt(0, 1); // the seam owns post-exchange dispatch
+}

@@ -1,0 +1,5 @@
+struct Q;
+void deliver(Q &queue)
+{
+    queue.schedule(1, 0); // the node module owns its queues
+}

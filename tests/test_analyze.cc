@@ -191,6 +191,27 @@ TEST(AnalyzeFixtures, QueueSeamBansDirectMutationOutsideSeam)
               std::string::npos);
 }
 
+TEST(AnalyzeFixtures, QueueSeamBansDispatchOutsideSeam)
+{
+    // Post-exchange dispatch is only legal through the shard_exec
+    // seam (dispatchDelivery/deliverUrgent) on the owning worker's
+    // shard; a direct NicModel::deliverAt from engine code would
+    // bypass the per-destination canonical merge.
+    const auto findings = analyzeTree(fixture("queue_seam_dispatch"));
+    ASSERT_EQ(findings.size(), 2u);
+    for (const auto &f : findings) {
+        // Only the rogue dispatcher trips: shard_exec.cc is the seam
+        // and node/ may deliver into its own queues freely.
+        EXPECT_EQ(f.file, "engine/rogue_dispatch.cc");
+        EXPECT_EQ(f.rule, "queue-seam");
+        EXPECT_NE(f.message.find("'deliverAt'"), std::string::npos);
+        EXPECT_NE(f.message.find("dispatchDelivery"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(findings[0].line, 4);
+    EXPECT_EQ(findings[1].line, 5);
+}
+
 TEST(AnalyzeFixtures, RealTreeIsClean)
 {
     // Zero findings over the actual src/ is an acceptance invariant:
@@ -209,6 +230,7 @@ TEST(AnalyzeBinary, GoldenOutputsAndExitCodes)
         {"determinism", 1},
         {"ckpt_coverage", 1},
         {"queue_seam", 1},
+        {"queue_seam_dispatch", 1},
     };
     for (const auto &[name, want_exit] : cases) {
         const auto [code, out] = run(std::string(AQSIM_ANALYZE_BIN) +

@@ -12,10 +12,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "check/invariants.hh"
+#include "engine/delivery_batch.hh"
 #include "engine/threaded_engine.hh"
+#include "net/packet.hh"
 #include "sim/run_merge.hh"
 #include "test_util.hh"
 
@@ -130,6 +134,212 @@ TEST(RunMerge, AllEmptyAndReuse)
     EXPECT_EQ(item.key.when, 1u);
     EXPECT_EQ(item.run, 0u);
     EXPECT_FALSE(merger.next(item));
+}
+
+// ---------------------------------------------------------------
+// K×K exchange partitioner (engine::DeliveryBatch).
+// ---------------------------------------------------------------
+
+net::PacketPtr
+stagedPacket(NodeId src, NodeId dst, Tick depart)
+{
+    auto pkt = net::makePacket(src, dst, 256, depart);
+    pkt->departTick = depart;
+    pkt->idealArrival = depart + 1;
+    return pkt;
+}
+
+/** An 8-node cluster to dispatch into, plus a scoped invariant
+ * checker so every merge's canonical order is machine-audited. */
+struct Exchange : public ::testing::Test
+{
+    Exchange()
+        : workload(workloads::makeWorkload("burst", 8, 0.05)),
+          cluster(harness::defaultCluster(8, 13), *workload),
+          checker(check::InvariantChecker::instance())
+    {
+        checker.reset();
+        checker.setEnabled(true);
+    }
+
+    ~Exchange() override
+    {
+        checker.setEnabled(false);
+        checker.reset();
+    }
+
+    std::uint64_t
+    orderViolations() const
+    {
+        return checker.violations(check::Invariant::ShardMergeOrder);
+    }
+
+    std::unique_ptr<workloads::Workload> workload;
+    engine::Cluster cluster;
+    check::InvariantChecker &checker;
+};
+
+TEST_F(Exchange, StageRoutesBySourceAndDestinationShard)
+{
+    // 8 nodes over K=4 shards: two nodes per shard, destination known
+    // at stage time, so each key lands directly in its (source shard,
+    // destination shard) sub-run with no partition pass.
+    engine::DeliveryBatch batch(8, 4);
+    batch.stage(stagedPacket(0, 7, 10), 20,
+                net::DeliveryKind::NextQuantum);
+    batch.stage(stagedPacket(3, 2, 11), 20,
+                net::DeliveryKind::NextQuantum);
+    batch.stage(stagedPacket(6, 6, 12), 20,
+                net::DeliveryKind::NextQuantum);
+
+    EXPECT_EQ(batch.stagedBetween(0, 3), 1u);
+    EXPECT_EQ(batch.stagedBetween(1, 1), 1u);
+    EXPECT_EQ(batch.stagedBetween(3, 3), 1u);
+    std::size_t occupied = 0;
+    for (std::size_t s = 0; s < 4; ++s)
+        for (std::size_t d = 0; d < 4; ++d)
+            occupied += batch.stagedBetween(s, d) != 0;
+    EXPECT_EQ(occupied, 3u);
+    EXPECT_EQ(batch.pending(), 3u);
+    EXPECT_EQ(batch.totalStaged(), 3u);
+
+    EXPECT_EQ(batch.mergeInto(cluster), 3u);
+    EXPECT_EQ(batch.pending(), 0u);
+    EXPECT_EQ(batch.totalMerged(), 3u);
+    for (std::size_t s = 0; s < 4; ++s)
+        for (std::size_t d = 0; d < 4; ++d)
+            EXPECT_EQ(batch.stagedBetween(s, d), 0u) << s << d;
+    EXPECT_EQ(orderViolations(), 0u);
+}
+
+TEST_F(Exchange, EmptySubRunsMergeToNothing)
+{
+    engine::DeliveryBatch batch(8, 4);
+    // A fully empty exchange is legal at every destination.
+    for (std::size_t s = 0; s < 4; ++s)
+        batch.closeRun(s);
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_EQ(batch.mergeShard(d, cluster), 0u) << d;
+
+    // One intra-shard delivery: only its own column sees it; idle
+    // destination shards still merge nothing.
+    for (std::size_t s = 0; s < 4; ++s)
+        batch.beginQuantum(s);
+    batch.stage(stagedPacket(0, 1, 5), 9,
+                net::DeliveryKind::NextQuantum);
+    for (std::size_t s = 0; s < 4; ++s)
+        batch.closeRun(s);
+    EXPECT_EQ(batch.mergeShard(1, cluster), 0u);
+    EXPECT_EQ(batch.mergeShard(2, cluster), 0u);
+    EXPECT_EQ(batch.mergeShard(3, cluster), 0u);
+    EXPECT_EQ(batch.mergeShard(0, cluster), 1u);
+    EXPECT_EQ(batch.pending(), 0u);
+    EXPECT_EQ(orderViolations(), 0u);
+}
+
+TEST_F(Exchange, AllToOneIncastMergesOneColumnCanonically)
+{
+    // Every node floods node 0: the worst-case exchange shape, where
+    // one destination column carries the entire quantum. Stage in
+    // descending key order so the per-sub-run sort and the k-way
+    // column merge both have to do real work.
+    engine::DeliveryBatch batch(8, 4);
+    std::size_t staged = 0;
+    for (NodeId src = 0; src < 8; ++src) {
+        for (Tick t = 4; t > 0; --t) {
+            batch.stage(stagedPacket(src, 0, 100 * t + src),
+                        1000 + 10 * t, net::DeliveryKind::NextQuantum);
+            ++staged;
+        }
+    }
+    for (std::size_t s = 0; s < 4; ++s) {
+        EXPECT_EQ(batch.stagedBetween(s, 0), 8u) << s;
+        for (std::size_t d = 1; d < 4; ++d)
+            EXPECT_EQ(batch.stagedBetween(s, d), 0u) << s << d;
+        batch.closeRun(s);
+    }
+    EXPECT_EQ(batch.mergeShard(0, cluster), staged);
+    for (std::size_t d = 1; d < 4; ++d)
+        EXPECT_EQ(batch.mergeShard(d, cluster), 0u) << d;
+    // The checker audited every emission for strict canonical order.
+    EXPECT_EQ(orderViolations(), 0u);
+    EXPECT_GT(checker.checksPerformed(), staged);
+}
+
+TEST_F(Exchange, DuplicateKeyTieIsFlaggedNotReordered)
+{
+    // Two deliveries with identical (when, src, departTick) — a
+    // fault-injected duplicate the canonical key cannot order. The
+    // staging index keeps the merge deterministic (staging order),
+    // and the ShardMergeOrder invariant must flag the tie rather
+    // than silently passing it off as strict order.
+    engine::DeliveryBatch batch(8, 2);
+    batch.stage(stagedPacket(3, 6, 40), 70,
+                net::DeliveryKind::NextQuantum);
+    batch.stage(stagedPacket(3, 6, 40), 70,
+                net::DeliveryKind::NextQuantum);
+    batch.closeRun(0);
+    batch.closeRun(1);
+    EXPECT_EQ(batch.mergeShard(1, cluster), 2u);
+    EXPECT_EQ(orderViolations(), 1u);
+}
+
+TEST_F(Exchange, SingleShardIsTheDegenerateExchange)
+{
+    // K=1 (the SequentialEngine's configuration) is the one-cell
+    // exchange: everything stages into (0, 0) and one merge drains
+    // the whole quantum — no special-casing anywhere.
+    engine::DeliveryBatch batch(8, 1);
+    for (NodeId src = 0; src < 8; ++src)
+        batch.stage(stagedPacket(src, 7 - src, 50 + src), 200,
+                    net::DeliveryKind::NextQuantum);
+    EXPECT_EQ(batch.numShards(), 1u);
+    EXPECT_EQ(batch.stagedBetween(0, 0), 8u);
+    EXPECT_EQ(batch.mergeInto(cluster), 8u);
+    EXPECT_EQ(batch.pending(), 0u);
+    EXPECT_EQ(orderViolations(), 0u);
+}
+
+TEST_F(Exchange, SubRunBuffersAreReusedAcrossQuanta)
+{
+    // Steady-state quanta must recycle the key and payload buffers:
+    // capacities settle after the first quantum and never shrink or
+    // reallocate while the traffic shape is stable.
+    engine::DeliveryBatch batch(8, 2);
+    const auto quantum = [&](Tick base) {
+        for (std::size_t s = 0; s < 2; ++s)
+            batch.beginQuantum(s);
+        for (NodeId src = 0; src < 8; ++src)
+            for (NodeId dst = 0; dst < 8; ++dst)
+                batch.stage(
+                    stagedPacket(src, dst, base + 8 * src + dst),
+                    base + 64, net::DeliveryKind::NextQuantum);
+        for (std::size_t s = 0; s < 2; ++s)
+            batch.closeRun(s);
+        for (std::size_t d = 0; d < 2; ++d)
+            batch.mergeShard(d, cluster);
+    };
+
+    quantum(100);
+    std::vector<std::size_t> caps;
+    for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t d = 0; d < 2; ++d) {
+            EXPECT_EQ(batch.stagedBetween(s, d), 0u) << s << d;
+            EXPECT_GE(batch.subRunCapacity(s, d), 16u) << s << d;
+            caps.push_back(batch.subRunCapacity(s, d));
+        }
+
+    for (Tick base : {200, 300, 400})
+        quantum(base);
+    std::size_t i = 0;
+    for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t d = 0; d < 2; ++d)
+            EXPECT_EQ(batch.subRunCapacity(s, d), caps[i++])
+                << "sub-run (" << s << ", " << d
+                << ") reallocated in steady state";
+    EXPECT_EQ(batch.totalStaged(), 4u * 64u);
+    EXPECT_EQ(batch.totalMerged(), 4u * 64u);
+    EXPECT_EQ(orderViolations(), 0u);
 }
 
 // ---------------------------------------------------------------

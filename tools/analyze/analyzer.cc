@@ -352,14 +352,19 @@ scanPointerKeys(const SourceFile &file, std::vector<Finding> &findings)
 /**
  * Queue-seam rule: the engine module may drive node event queues only
  * through the shard-execution seam (engine/shard_exec.cc), so the
- * barrier-only canonical merge stays the single delivery path and the
- * bit-identity argument across worker counts has one choke point to
- * audit. Method-call syntax is what distinguishes a queue mutation
- * from the engine's own same-named helpers (a bare `runNodeQuantum(`
- * never matches; `queue.runOne(` does).
+ * per-destination exchange merge stays the single delivery path and
+ * the bit-identity argument across worker counts has one choke point
+ * to audit. deliverAt is banned alongside the raw EventQueue mutators:
+ * post-exchange dispatch is only legal via dispatchDelivery (and the
+ * urgent path via deliverUrgent) on the shard that owns the
+ * destination node — a direct NIC delivery from engine code would
+ * bypass both the canonical per-column order and the ownership rule.
+ * Method-call syntax is what distinguishes a queue mutation from the
+ * engine's own same-named helpers (a bare `runNodeQuantum(` never
+ * matches; `queue.runOne(` does).
  */
 const std::regex kQueueMutatorRe(
-    R"((\.|->)\s*(runOne|runUntil|fastForwardTo|scheduleIn|schedule|deschedule)\s*\()");
+    R"((\.|->)\s*(runOne|runUntil|fastForwardTo|scheduleIn|schedule|deschedule|deliverAt)\s*\()");
 
 void
 scanQueueSeam(const SourceFile &file, std::vector<Finding> &findings)
@@ -377,8 +382,10 @@ scanQueueSeam(const SourceFile &file, std::vector<Finding> &findings)
                      "' called from engine code outside the "
                      "shard-execution seam (engine/shard_exec.cc); "
                      "route execution through runNodeQuantum/stepNode/"
-                     "advanceNodeTo/snapToQuantumEnd so the barrier "
-                     "merge stays the only delivery path"});
+                     "advanceNodeTo/snapToQuantumEnd and dispatch "
+                     "through dispatchDelivery/deliverUrgent so each "
+                     "destination shard's exchange merge stays the "
+                     "only delivery path"});
         }
     }
 }

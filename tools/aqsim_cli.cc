@@ -15,6 +15,8 @@
  *             [--node-pause n:FROM:TO[,...]]
  *             [--reliable] [--retry-timeout T]  # ack + retransmit mode
  *             [--watchdog SECONDS]     # hang detector (0 = off)
+ *             [--phase-stats]          # exchange-phase timings
+
  *             [--checkpoint-every N --checkpoint-dir DIR]
  *             [--restore FILE|DIR] [--verify-restore]
  *             [--checkpoint-keep N]    # rotation (0 = unlimited)
@@ -171,6 +173,7 @@ runOne(const Args &args, workloads::Workload &workload,
     options.numWorkers =
         static_cast<std::size_t>(args.getInt("workers", 0));
     options.watchdogSeconds = args.getDouble("watchdog", 0.0);
+    options.phaseStats = args.getBool("phase-stats", false);
     options.checkpointEvery = static_cast<std::uint64_t>(
         args.getInt("checkpoint-every", 0));
     options.checkpointDir = args.getString("checkpoint-dir", "");
@@ -211,7 +214,7 @@ main(int argc, char **argv)
                "timeline", "trace", "quiet", "debug-flags", "sweep",
                "check", "drop", "duplicate", "corrupt", "jitter-rate",
                "jitter-max", "link-down", "node-crash", "node-pause",
-               "reliable", "retry-timeout", "watchdog",
+               "reliable", "retry-timeout", "watchdog", "phase-stats",
                "checkpoint-every", "checkpoint-dir", "restore",
                "verify-restore", "checkpoint-keep"});
 
