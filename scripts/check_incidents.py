@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate a supervisor incident log (JSONL) against its schema.
+
+The run supervisor (src/supervise/) appends one JSON object per
+recovery decision to the file given with --incident-log. CI's
+chaos-soak job feeds that file through this checker: every line must
+be valid JSON carrying exactly the documented fields with the right
+types, outcomes must come from the closed set, and (with
+--expect-recovered) the log must tell a complete story — every
+failure followed by a retry/escalation and the final record a
+recovery. Schema table: docs/supervision.md.
+
+Usage:
+    check_incidents.py LOG [--expect-recovered] [--min-incidents N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = {
+    "attempt": int,
+    "cause": str,
+    "quantum": int,
+    "backoff_s": (int, float),
+    "restore_source": str,
+    "outcome": str,
+    "detail": str,
+}
+
+OUTCOMES = {"retry", "escalate", "abort", "recovered"}
+
+# Causes the engines can raise today; "none" marks the terminal
+# recovered record. New causes must be added here *and* to the schema
+# table in docs/supervision.md.
+CAUSES = {"watchdog", "panic", "fatal", "injected", "none"}
+
+
+def check_record(line_no: int, line: str, errors: list[str]) -> dict | None:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        errors.append(f"line {line_no}: not valid JSON: {exc}")
+        return None
+    if not isinstance(record, dict):
+        errors.append(f"line {line_no}: not a JSON object")
+        return None
+
+    errors_before = len(errors)
+    for field, kind in REQUIRED_FIELDS.items():
+        if field not in record:
+            errors.append(f"line {line_no}: missing field '{field}'")
+        elif not isinstance(record[field], kind) or isinstance(
+            record[field], bool
+        ):
+            errors.append(
+                f"line {line_no}: field '{field}' should be "
+                f"{kind}, got {type(record[field]).__name__}"
+            )
+    for field in record:
+        if field not in REQUIRED_FIELDS:
+            errors.append(f"line {line_no}: unknown field '{field}'")
+    if len(errors) > errors_before:
+        return record
+
+    if record["outcome"] not in OUTCOMES:
+        errors.append(
+            f"line {line_no}: outcome '{record['outcome']}' not in "
+            f"{sorted(OUTCOMES)}"
+        )
+    if record["cause"] not in CAUSES:
+        errors.append(
+            f"line {line_no}: cause '{record['cause']}' not in "
+            f"{sorted(CAUSES)}"
+        )
+    if record["attempt"] < 1:
+        errors.append(f"line {line_no}: attempt must be >= 1")
+    if record["quantum"] < 0:
+        errors.append(f"line {line_no}: quantum must be >= 0")
+    if record["backoff_s"] < 0:
+        errors.append(f"line {line_no}: backoff_s must be >= 0")
+    return record
+
+
+def check_story(records: list[dict], errors: list[str]) -> None:
+    """Cross-record invariants: attempts ascend, the log terminates."""
+    for prev, cur in zip(records, records[1:]):
+        if cur["attempt"] <= prev["attempt"]:
+            errors.append(
+                f"attempt {cur['attempt']} does not ascend past "
+                f"{prev['attempt']}"
+            )
+    for record in records[:-1]:
+        if record["outcome"] in ("abort", "recovered"):
+            errors.append(
+                f"terminal outcome '{record['outcome']}' "
+                f"(attempt {record['attempt']}) is not the last record"
+            )
+    last = records[-1]
+    if last["outcome"] not in ("abort", "recovered"):
+        errors.append(
+            f"log ends with non-terminal outcome '{last['outcome']}'"
+        )
+    if last["outcome"] == "recovered" and last["cause"] != "none":
+        errors.append("recovered record must have cause 'none'")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="incident log (JSONL) to validate")
+    parser.add_argument(
+        "--expect-recovered",
+        action="store_true",
+        help="fail unless the final record's outcome is 'recovered'",
+    )
+    parser.add_argument(
+        "--min-incidents",
+        type=int,
+        default=1,
+        help="fail if the log holds fewer records (default 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.log, encoding="utf-8") as f:
+            lines = [line.rstrip("\n") for line in f if line.strip()]
+    except OSError as exc:
+        print(f"check_incidents: cannot read {args.log}: {exc}")
+        return 1
+
+    errors: list[str] = []
+    records = []
+    for line_no, line in enumerate(lines, start=1):
+        record = check_record(line_no, line, errors)
+        if record is not None:
+            records.append(record)
+
+    if len(records) < args.min_incidents:
+        errors.append(
+            f"only {len(records)} incident(s), expected at least "
+            f"{args.min_incidents}"
+        )
+    if records and not errors:
+        check_story(records, errors)
+    if args.expect_recovered:
+        if not records or records[-1].get("outcome") != "recovered":
+            errors.append("final record is not a recovery")
+
+    for error in errors:
+        print(f"check_incidents: {error}")
+    if not errors:
+        recoveries = sum(
+            1 for r in records if r["outcome"] == "recovered"
+        )
+        print(
+            f"check_incidents: {args.log}: {len(records)} incident(s) "
+            f"valid, {recoveries} recovery"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,15 @@
 #include "trace/packet_trace.hh"
 #include "trace/timeline.hh"
 
+// Fault injection and chaos scenarios
+#include "fault/chaos.hh"
+#include "fault/fault_injector.hh"
+
+// Self-healing run supervision
+#include "supervise/escalation.hh"
+#include "supervise/incident_log.hh"
+#include "supervise/run_supervisor.hh"
+
 // Experiment harness
 #include "harness/experiment.hh"
 #include "harness/pareto.hh"

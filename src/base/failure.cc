@@ -1,0 +1,37 @@
+#include "base/failure.hh"
+
+namespace aqsim::base
+{
+
+namespace
+{
+
+/** Nesting depth of FailureTraps armed on this thread. */
+thread_local int trapDepth = 0;
+
+} // namespace
+
+FailureTrap::FailureTrap()
+{
+    ++trapDepth;
+}
+
+FailureTrap::~FailureTrap()
+{
+    --trapDepth;
+}
+
+bool
+failureTrapArmed()
+{
+    return trapDepth > 0;
+}
+
+void
+throwIfTrapped(const char *cause, const char *message)
+{
+    if (trapDepth > 0)
+        throw RunAbort(cause, message);
+}
+
+} // namespace aqsim::base

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * In-process failure interception for supervised runs.
+ *
+ * panic() and fatal() are process-fatal by design: a simulator bug or
+ * an unusable configuration should die loudly. A *supervised* run
+ * (supervise::RunSupervisor) wants the opposite: the failure must
+ * surface as a value the supervisor can catch, log, and recover from
+ * — restore the newest checkpoint and retry — without losing the
+ * process. The bridge is a FailureTrap: while one is armed on the
+ * calling thread, panic()/fatal() throw a RunAbort instead of calling
+ * abort()/exit(). The trap is strictly thread-local, so
+ *
+ *  - default behaviour is bit-for-bit unchanged (no trap, no throw),
+ *  - the watchdog's monitor thread never unwinds: a hard panic there
+ *    stays a hard panic (the monitor cannot be recovered in place),
+ *  - each ThreadedEngine worker arms its own trap for the duration of
+ *    a supervised quantum, so a fatal() raised inside an event
+ *    callback (e.g. reliable-delivery retry exhaustion) unwinds to
+ *    the worker's quantum function, which latches it and still honours
+ *    the exchange/gate barrier protocol.
+ *
+ * CancelToken is the other half of unwedging: a hung quantum cannot
+ * throw (it is not running *our* code at the failure point — it is
+ * spinning in an event loop), so the watchdog's panic handler sets the
+ * token and the engines' event loops poll it and abort cooperatively.
+ */
+
+#ifndef AQSIM_BASE_FAILURE_HH
+#define AQSIM_BASE_FAILURE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace aqsim::base
+{
+
+/**
+ * A failed run, carried as a value: what failed ("watchdog", "panic",
+ * "fatal", "injected"), the human-readable detail, and the number of
+ * quanta that had completed when the failure was raised (0 when the
+ * failure site could not know).
+ */
+class RunAbort : public std::runtime_error
+{
+  public:
+    RunAbort(std::string cause, std::string detail,
+             std::uint64_t quantum = 0)
+        : std::runtime_error(cause + ": " + detail),
+          cause_(std::move(cause)), detail_(std::move(detail)),
+          quantum_(quantum)
+    {}
+
+    const std::string &cause() const { return cause_; }
+    const std::string &detail() const { return detail_; }
+    /** Completed quanta when the failure was raised (0 = unknown). */
+    std::uint64_t quantum() const { return quantum_; }
+
+  private:
+    std::string cause_;
+    std::string detail_;
+    std::uint64_t quantum_;
+};
+
+/**
+ * RAII: while alive, panic()/fatal() on *this thread* throw RunAbort
+ * instead of aborting/exiting. Nestable; never shared across threads.
+ */
+class FailureTrap
+{
+  public:
+    FailureTrap();
+    ~FailureTrap();
+    FailureTrap(const FailureTrap &) = delete;
+    FailureTrap &operator=(const FailureTrap &) = delete;
+};
+
+/** @return true if the calling thread has an armed FailureTrap. */
+bool failureTrapArmed();
+
+/**
+ * panic()/fatal() hook: throw RunAbort{cause, message} if the calling
+ * thread has an armed FailureTrap; otherwise return (the caller then
+ * dies the classic way).
+ */
+void throwIfTrapped(const char *cause, const char *message);
+
+/**
+ * Cooperative cancellation flag polled by the engines' event loops.
+ * requestCancel() is called from the watchdog's panic handler (another
+ * thread); the loops observe it and throw RunAbort at the next poll
+ * point, which unwedges a hung quantum without killing the process.
+ */
+class CancelToken
+{
+  public:
+    void
+    requestCancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** Re-arm for the next supervised attempt. */
+    void
+    reset()
+    {
+        cancelled_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace aqsim::base
+
+#endif // AQSIM_BASE_FAILURE_HH

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/failure.hh"
+
 namespace aqsim
 {
 
@@ -13,17 +15,23 @@ bool verboseFlag = false;
 std::string *captureSink = nullptr;
 
 void
+emitLine(const char *prefix, const char *line)
+{
+    if (captureSink) {
+        captureSink->append(prefix);
+        captureSink->append(line);
+        captureSink->push_back('\n');
+    } else {
+        std::fprintf(stderr, "%s%s\n", prefix, line);
+    }
+}
+
+void
 emit(const char *prefix, const char *fmt, va_list args)
 {
     char buf[4096];
     std::vsnprintf(buf, sizeof(buf), fmt, args);
-    if (captureSink) {
-        captureSink->append(prefix);
-        captureSink->append(buf);
-        captureSink->push_back('\n');
-    } else {
-        std::fprintf(stderr, "%s%s\n", prefix, buf);
-    }
+    emitLine(prefix, buf);
 }
 
 } // namespace
@@ -69,20 +77,29 @@ warn(const char *fmt, ...)
 void
 fatal(const char *fmt, ...)
 {
+    char buf[4096];
     va_list args;
     va_start(args, fmt);
-    emit("fatal: ", fmt, args);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
+    // Supervised runs (base::FailureTrap armed on this thread) receive
+    // the failure as a catchable RunAbort instead of losing the
+    // process; see base/failure.hh.
+    base::throwIfTrapped("fatal", buf);
+    emitLine("fatal: ", buf);
     std::exit(1);
 }
 
 void
 panic(const char *fmt, ...)
 {
+    char buf[4096];
     va_list args;
     va_start(args, fmt);
-    emit("panic: ", fmt, args);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
+    base::throwIfTrapped("panic", buf);
+    emitLine("panic: ", buf);
     std::abort();
 }
 

@@ -49,6 +49,12 @@ putFaultWindows(Writer &w, const engine::ClusterParams &params)
     };
     put_node_windows(f.nodeCrash);
     put_node_windows(f.nodePause);
+    w.u32(static_cast<std::uint32_t>(f.lossBursts.size()));
+    for (const auto &b : f.lossBursts) {
+        w.u64(b.from);
+        w.u64(b.to);
+        w.f64(b.rate);
+    }
 }
 
 } // namespace

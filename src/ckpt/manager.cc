@@ -47,9 +47,31 @@ bool
 CheckpointManager::write(const CheckpointImage &image, CkptError &error)
 {
     const auto begin = std::chrono::steady_clock::now();
-    const std::vector<std::uint8_t> encoded = encodeImage(image);
-    if (!writeFileAtomic(fileName(image.quantumIndex), encoded, error))
+    std::vector<std::uint8_t> encoded = encodeImage(image);
+    if (corruptNextWrite_) {
+        corruptNextWrite_ = false;
+        if (encoded.size() > 16)
+            encoded[encoded.size() / 2] ^= 0xff;
+    }
+    const std::string path = fileName(image.quantumIndex);
+    if (!writeFileAtomic(path, encoded, error))
         return false;
+    // Read-back verification: only an image proven decodable may
+    // become rotation's survivor. A torn or bit-flipped write is
+    // deleted on the spot and rotation is skipped, so the previous
+    // good file stays on disk even under keep-last-1.
+    std::vector<std::uint8_t> readback;
+    CheckpointImage decoded;
+    CkptError verify_error;
+    if (!readFile(path, readback, verify_error) ||
+        !decodeImage(readback, decoded, verify_error)) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        error = {"verify", path + " failed read-back verification: " +
+                               verify_error.str()};
+        return false;
+    }
+    verifiedPath_ = path;
     rotate();
     const auto end = std::chrono::steady_clock::now();
 
@@ -85,6 +107,12 @@ CheckpointManager::rotate()
         return;
     const auto files = listFiles();
     for (std::size_t i = keepLast_; i < files.size(); ++i) {
+        // Never delete the newest verified image: if unverified (or
+        // externally written, possibly torn) files newer than it push
+        // it past the keep budget, it is still the only checkpoint
+        // recovery is guaranteed to accept.
+        if (files[i].second == verifiedPath_)
+            continue;
         std::error_code ec;
         fs::remove(files[i].second, ec);
     }

@@ -55,10 +55,26 @@ class CheckpointManager
     bool due(std::uint64_t quantum_index) const;
 
     /**
-     * Encode + atomically write @p image, then rotate old files.
+     * Encode + atomically write @p image, verify the write by reading
+     * it back and decoding it, then rotate old files. A write that
+     * fails read-back verification is deleted and does *not* trigger
+     * rotation, and rotation never deletes the newest verified image
+     * — so an in-flight or torn write can never consume the only good
+     * checkpoint, even under keep-last-1.
      * @return true on success; failures are I/O errors, not fatal.
      */
     bool write(const CheckpointImage &image, CkptError &error);
+
+    /**
+     * Test seam: corrupt the next write's encoded bytes before they
+     * hit the disk, simulating a torn/bit-flipped in-flight image
+     * (read-back verification must catch it and spare the previous
+     * good file from rotation).
+     */
+    void corruptNextWriteForTest() { corruptNextWrite_ = true; }
+
+    /** Newest image proven decodable by write verification (tests). */
+    const std::string &verifiedPath() const { return verifiedPath_; }
 
     /**
      * Recover the newest decodable checkpoint in the directory.
@@ -110,6 +126,9 @@ class CheckpointManager
     std::size_t keepLast_;
     CkptWriteStats stats_;
     std::vector<std::string> skipped_;
+    /** Newest write that passed read-back verification. */
+    std::string verifiedPath_;
+    bool corruptNextWrite_ = false;
 
     /** Engine thread stashes, watchdog thread writes: the one pair of
      * CheckpointManager entry points that can genuinely race. */

@@ -44,6 +44,16 @@ RunResult::summary() const
             buf + len, sizeof(buf) - len, " restored@q%llu",
             static_cast<unsigned long long>(restoredFromQuantum));
     }
+    if (superviseRecoveries && len > 0 &&
+        static_cast<std::size_t>(len) < sizeof(buf)) {
+        len += std::snprintf(
+            buf + len, sizeof(buf) - len,
+            " supervised[attempts=%llu recoveries=%llu "
+            "escalations=%llu]",
+            static_cast<unsigned long long>(superviseAttempts),
+            static_cast<unsigned long long>(superviseRecoveries),
+            static_cast<unsigned long long>(superviseEscalations));
+    }
     if (showPhaseStats && len > 0 &&
         static_cast<std::size_t>(len) < sizeof(buf)) {
         len += std::snprintf(

@@ -56,6 +56,17 @@ struct RunResult
     std::uint64_t finalStateHash = 0;
 
     /**
+     * Supervision outcome (supervise::RunSupervisor): attempts made,
+     * failures recovered from, conservative escalations taken. An
+     * unsupervised (or first-try clean) run leaves recoveries at 0,
+     * which also suppresses the summary section so default summaries
+     * stay byte-comparable.
+     */
+    std::uint64_t superviseAttempts = 0;
+    std::uint64_t superviseRecoveries = 0;
+    std::uint64_t superviseEscalations = 0;
+
+    /**
      * Wall-clock spent in each exchange phase across all workers
      * (stats/phase_timing.hh), measured only when
      * EngineOptions::phaseStats was on. Nondeterministic by nature:

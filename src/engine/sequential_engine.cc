@@ -58,6 +58,7 @@ class CoSim : public net::DeliveryScheduler
 
         sync_.begin();
         while (!cluster_.allDone()) {
+            pollCancel();
             if (!cluster_.anyEventPending()) {
                 panic("cluster deadlock: no pending events but "
                       "applications incomplete\n%s",
@@ -76,6 +77,9 @@ class CoSim : public net::DeliveryScheduler
                       static_cast<unsigned long long>(
                           sync_.quantumStart()));
         }
+        // A watchdog drill injected at the final quantum trips the
+        // token after allDone() became true; it must still abort.
+        pollCancel();
         (void)n;
         return globalHost_;
     }
@@ -324,6 +328,7 @@ class CoSim : public net::DeliveryScheduler
         }
 
         while (barrierNodes_ < activeNodes_) {
+            pollCancel();
             AQSIM_ASSERT(!heap_.empty());
             const Entry e = heap_.top();
             heap_.pop();
@@ -394,6 +399,47 @@ class CoSim : public net::DeliveryScheduler
         sync_.completeQuantum(globalHost_ - quantum_begin);
         if (checkpointer_)
             checkpointer_->onQuantumCompleted(engineState());
+        if (options_.injectFailAfterQuantum &&
+            sync_.numQuanta() == options_.injectFailAfterQuantum)
+            injectFailure();
+    }
+
+    /**
+     * Supervised-run poll point: a hung quantum cannot throw on its
+     * own (it is wedged inside event callbacks), so the watchdog's
+     * panic handler trips the token and the event loops abort here.
+     */
+    void
+    pollCancel() const
+    {
+        if (options_.cancelToken && options_.cancelToken->cancelled())
+            throw base::RunAbort("watchdog",
+                                 "run cancelled after watchdog expiry",
+                                 sync_.numQuanta());
+    }
+
+    /** Deterministic recovery drill; see EngineOptions. */
+    void
+    injectFailure()
+    {
+        if (options_.injectWatchdogPanic) {
+            PanicInfo info;
+            info.quantaCompleted = sync_.numQuanta();
+            info.quantumStart = sync_.quantumStart();
+            info.quantumEnd = sync_.quantumEnd();
+            info.progress = cluster_.progressReport();
+            if (options_.onWatchdogPanic)
+                options_.onWatchdogPanic(info);
+            if (options_.cancelToken) {
+                // The next pollCancel() throws through the same path
+                // a real watchdog expiry would take.
+                options_.cancelToken->requestCancel();
+                return;
+            }
+        }
+        throw base::RunAbort("injected",
+                             "injected failure for recovery drill",
+                             sync_.numQuanta());
     }
 
     /**
@@ -490,23 +536,42 @@ SequentialEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         if (!watchdog_)
             watchdog_ =
                 std::make_unique<Watchdog>(options_.watchdogSeconds);
-        watchdog_->arm([&cluster, &sync, ckpt = checkpointer.get()] {
-            char head[96];
-            std::snprintf(head, sizeof(head), "  quantum [%llu,%llu)\n",
-                          static_cast<unsigned long long>(
-                              sync.quantumStart()),
-                          static_cast<unsigned long long>(
-                              sync.quantumEnd()));
-            std::string out = head + cluster.progressReport();
-            if (ckpt)
-                out += ckpt->panicNote();
-            return out;
-        });
+        Watchdog::PanicFn on_panic;
+        if (options_.cancelToken || options_.onWatchdogPanic) {
+            on_panic = [handler = options_.onWatchdogPanic,
+                        cancel = options_.cancelToken](
+                           const PanicInfo &info) {
+                if (handler)
+                    handler(info);
+                if (cancel)
+                    cancel->requestCancel();
+            };
+        }
+        watchdog_->arm(
+            [&cluster, &sync, ckpt = checkpointer.get()] {
+                PanicInfo info;
+                info.quantumStart = sync.quantumStart();
+                info.quantumEnd = sync.quantumEnd();
+                info.progress = cluster.progressReport();
+                if (ckpt)
+                    info.note = ckpt->panicNote();
+                return info;
+            },
+            std::move(on_panic));
         watchdog = watchdog_.get();
     }
 
     CoSim cosim(cluster, sync, options_, watchdog, checkpointer.get());
-    const HostNs host_ns = cosim.execute();
+    HostNs host_ns = 0.0;
+    try {
+        host_ns = cosim.execute();
+    } catch (...) {
+        // A supervised abort must not leave the reused watchdog armed
+        // with a dump capturing this (dying) run's objects.
+        if (watchdog)
+            watchdog->disarm();
+        throw;
+    }
     if (watchdog)
         watchdog->disarm();
 

@@ -20,19 +20,20 @@
 #define AQSIM_ENGINE_SEQUENTIAL_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "base/failure.hh"
 #include "core/quantum_policy.hh"
 #include "engine/cluster.hh"
 #include "engine/run_result.hh"
+#include "engine/watchdog.hh"
 #include "net/network_controller.hh"
 #include "node/host_cost_model.hh"
 
 namespace aqsim::engine
 {
-
-class Watchdog;
 
 /**
  * What to do with a straggler (a packet whose receiver has already
@@ -113,6 +114,34 @@ struct EngineOptions
     bool verifyRestore = false;
     /** Checkpoint files kept after rotation (0 = unlimited). */
     std::size_t checkpointKeepLast = 2;
+
+    /**
+     * Supervision seam (installed by supervise::RunSupervisor; never
+     * set by ordinary callers). When non-null, the engines poll this
+     * token in their event loops and abort the run with a catchable
+     * base::RunAbort when it trips, so a watchdog-detected hang can be
+     * unwedged in-process instead of killing the process.
+     */
+    base::CancelToken *cancelToken = nullptr;
+    /**
+     * Supervision seam: called (from the watchdog thread) with the
+     * structured hang dump on first watchdog expiry instead of
+     * panicking; the engine also trips cancelToken afterwards.
+     */
+    std::function<void(const PanicInfo &)> onWatchdogPanic;
+    /**
+     * Deterministic recovery drill: fail the run right after this
+     * many quanta have completed (0 = never). Used by the supervisor
+     * and its tests to rehearse checkpoint-restore recovery at an
+     * exact, reproducible point.
+     */
+    std::uint64_t injectFailAfterQuantum = 0;
+    /**
+     * Drill flavour: instead of throwing directly, exercise the full
+     * watchdog panic path (onWatchdogPanic + cancelToken), so the
+     * recovery machinery is rehearsed end to end.
+     */
+    bool injectWatchdogPanic = false;
 };
 
 /** Deterministic host-time co-simulating engine. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/failure.hh"
 #include "engine/worker_pool.hh"
 #include "node/node_simulator.hh"
 
@@ -10,7 +11,8 @@ namespace aqsim::engine
 {
 
 void
-runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
+runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe,
+               const base::CancelToken *cancel)
 {
     auto &queue = node.queue();
 
@@ -32,6 +34,13 @@ runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx, Tick qe)
     mbx.open();
     for (;;) {
         while (queue.nextTick() < qe) {
+            // Supervised-run unwedge point: a quantum that spins here
+            // forever (e.g. a poll loop waiting on a frame the fault
+            // layer blackholed) returns as soon as the watchdog's
+            // handler requests cancellation. The run is abandoned, so
+            // leaving the node mid-quantum is fine.
+            if (cancel && cancel->cancelled())
+                return;
             queue.runOne();
             mbx.setCurrentTick(queue.now());
             if (mbx.urgent())

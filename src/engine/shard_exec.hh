@@ -24,6 +24,11 @@
 #include "base/types.hh"
 #include "net/packet.hh"
 
+namespace aqsim::base
+{
+class CancelToken;
+} // namespace aqsim::base
+
 namespace aqsim::node
 {
 class NodeSimulator;
@@ -39,9 +44,14 @@ class NodeMailbox;
  * quantum boundary @p qe, draining urgent mid-quantum deliveries from
  * @p mbx under the mailbox open/close handshake, and leave the node
  * fast-forwarded to @p qe with the mailbox closed.
+ *
+ * @p cancel, when non-null, is the supervised-run unwedge seam: the
+ * loop polls it and returns early (node left mid-quantum, mailbox
+ * open) once cancellation is requested — the run is being abandoned
+ * and the cluster discarded, so no boundary invariant needs to hold.
  */
 void runNodeQuantum(node::NodeSimulator &node, NodeMailbox &mbx,
-                    Tick qe);
+                    Tick qe, const base::CancelToken *cancel = nullptr);
 
 /**
  * Execute exactly one pending event (the SequentialEngine's host-time

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "base/failure.hh"
 #include "base/logging.hh"
 #include "ckpt/ckpt_io.hh"
 #include "ckpt/run_checkpointer.hh"
@@ -108,18 +110,60 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
     // the column destined for its *own* shard — so the former
     // coordinator-serial merge wall runs K-wide, with no cross-shard
     // queue mutation (DeliveryBatch documents the ownership protocol).
+    // Supervised-run failure plumbing: each worker's quantum runs
+    // under a per-thread base::FailureTrap, so a fatal()/panic()
+    // raised inside an event callback (e.g. reliable-delivery retry
+    // exhaustion) unwinds to the quantum function as a RunAbort. The
+    // first failure is latched, cancellation is requested, and the
+    // failing worker still honours the exchange barrier so its peers
+    // — and the coordinator's gate round trip — are never left
+    // waiting on a thread that bailed out.
+    base::CancelToken *const cancel = options_.cancelToken;
+    base::Mutex fail_mutex;
+    std::unique_ptr<base::RunAbort> first_failure;
+    auto latchFailure = [&](const base::RunAbort &abort) {
+        {
+            base::MutexLock lock(fail_mutex);
+            if (!first_failure)
+                first_failure =
+                    std::make_unique<base::RunAbort>(abort);
+        }
+        if (cancel)
+            cancel->requestCancel();
+    };
+
     WorkerBarrier exchange(workers);
     WorkerPool pool(workers, [&](std::size_t w, Tick qe) {
+        std::optional<base::FailureTrap> trap;
+        if (cancel)
+            trap.emplace();
         batch.beginQuantum(w);
-        const auto [begin, end] = WorkerPool::shardRange(w, workers, n);
-        for (std::size_t id = begin; id < end; ++id)
-            runNodeQuantum(cluster.node(id), mailboxes[id], qe);
+        try {
+            if (!cancel || !cancel->cancelled()) {
+                const auto [begin, end] =
+                    WorkerPool::shardRange(w, workers, n);
+                for (std::size_t id = begin; id < end; ++id)
+                    runNodeQuantum(cluster.node(id), mailboxes[id],
+                                   qe, cancel);
+            }
+        } catch (const base::RunAbort &abort) {
+            latchFailure(abort);
+        }
         // One sort per shard per quantum: the worker owns its
         // sub-runs, so sorting here parallelizes the exchange's
         // preprocessing.
         batch.closeRun(w);
         exchange.arriveAndWait();
-        batch.mergeShard(w, cluster);
+        // A cancellation requested before the exchange barrier is
+        // visible to every worker after it, so either all shards
+        // merge or none do.
+        if (!cancel || !cancel->cancelled()) {
+            try {
+                batch.mergeShard(w, cluster);
+            } catch (const base::RunAbort &abort) {
+                latchFailure(abort);
+            }
+        }
     });
 
     ckpt::RunCkptOptions ck;
@@ -149,20 +193,42 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         if (!watchdog_)
             watchdog_ =
                 std::make_unique<Watchdog>(options_.watchdogSeconds);
-        watchdog_->arm([&cluster, &sync, ckpt = checkpointer.get()] {
-            char head[96];
-            std::snprintf(head, sizeof(head), "  quantum [%llu,%llu)\n",
-                          static_cast<unsigned long long>(
-                              sync.quantumStart()),
-                          static_cast<unsigned long long>(
-                              sync.quantumEnd()));
-            std::string out = head + cluster.progressReport();
-            if (ckpt)
-                out += ckpt->panicNote();
-            return out;
-        });
+        Watchdog::PanicFn on_panic;
+        if (cancel || options_.onWatchdogPanic) {
+            on_panic = [handler = options_.onWatchdogPanic,
+                        cancel](const PanicInfo &info) {
+                if (handler)
+                    handler(info);
+                if (cancel)
+                    cancel->requestCancel();
+            };
+        }
+        watchdog_->arm(
+            [&cluster, &sync, ckpt = checkpointer.get()] {
+                PanicInfo info;
+                info.quantumStart = sync.quantumStart();
+                info.quantumEnd = sync.quantumEnd();
+                info.progress = cluster.progressReport();
+                if (ckpt)
+                    info.note = ckpt->panicNote();
+                return info;
+            },
+            std::move(on_panic));
         watchdog = watchdog_.get();
     }
+
+    // Raised when a supervised run was cancelled: surface the latched
+    // worker failure if one exists, else the watchdog cancellation.
+    auto throwCancelled = [&]() {
+        {
+            base::MutexLock lock(fail_mutex);
+            if (first_failure)
+                throw *first_failure;
+        }
+        throw base::RunAbort("watchdog",
+                             "run cancelled after watchdog expiry",
+                             sync.numQuanta());
+    };
 
     const auto wall_start = std::chrono::steady_clock::now();
     sync.begin();
@@ -170,45 +236,81 @@ ThreadedEngine::run(Cluster &cluster, core::QuantumPolicy &policy)
         options_.maxQuanta ? options_.maxQuanta : 500'000'000ULL;
 
     auto quantum_start_wall = wall_start;
-    while (!cluster.allDone()) {
-        if (!cluster.anyEventPending()) {
-            panic("cluster deadlock: no pending events but "
-                  "applications incomplete\n%s",
-                  cluster.progressReport().c_str());
+    try {
+        while (!cluster.allDone()) {
+            if (cancel && cancel->cancelled())
+                throwCancelled();
+            if (!cluster.anyEventPending()) {
+                panic("cluster deadlock: no pending events but "
+                      "applications incomplete\n%s",
+                      cluster.progressReport().c_str());
+            }
+            // The exchange merge happens *inside* the quantum, after
+            // the workers' internal barrier: every destination node's
+            // staged deliveries flow through its own shard's column
+            // merger in canonical (when, src, departTick) order —
+            // identical for every worker count — and are already
+            // dispatched (visible to the deadlock check) when the gate
+            // round trip completes.
+            pool.runQuantum(sync.quantumEnd());
+            if (cancel && cancel->cancelled())
+                throwCancelled();
+            if (watchdog)
+                watchdog->kick();
+            const auto now_wall = std::chrono::steady_clock::now();
+            const HostNs quantum_ns =
+                std::chrono::duration<double, std::nano>(
+                    now_wall - quantum_start_wall)
+                    .count();
+            quantum_start_wall = now_wall;
+            sync.completeQuantum(quantum_ns);
+            // Coordinator-only snapshot: all workers are parked at the
+            // barrier and the shard runs are merged, so the cut is
+            // identical for every worker count. The engine-private
+            // section carries only the delivery layer's quiescence
+            // proof and deterministic lifetime counters — never
+            // measured wall-clock, which must not enter the divergence
+            // check.
+            if (checkpointer) {
+                ckpt::Writer w;
+                batch.serialize(w);
+                checkpointer->onQuantumCompleted(w.buffer());
+            }
+            if (options_.injectFailAfterQuantum &&
+                sync.numQuanta() == options_.injectFailAfterQuantum) {
+                // Deterministic recovery drill; see EngineOptions.
+                if (options_.injectWatchdogPanic) {
+                    PanicInfo info;
+                    info.quantaCompleted = sync.numQuanta();
+                    info.quantumStart = sync.quantumStart();
+                    info.quantumEnd = sync.quantumEnd();
+                    info.progress = cluster.progressReport();
+                    if (options_.onWatchdogPanic)
+                        options_.onWatchdogPanic(info);
+                    if (cancel) {
+                        cancel->requestCancel();
+                        continue; // next poll throws organically
+                    }
+                }
+                throw base::RunAbort(
+                    "injected", "injected failure for recovery drill",
+                    sync.numQuanta());
+            }
+            if (sync.numQuanta() > max_quanta)
+                fatal("quantum budget exceeded (%llu)",
+                      static_cast<unsigned long long>(max_quanta));
+            if (options_.maxSimTicks &&
+                sync.quantumStart() > options_.maxSimTicks)
+                fatal("simulated time budget exceeded");
         }
-        // The exchange merge happens *inside* the quantum, after the
-        // workers' internal barrier: every destination node's staged
-        // deliveries flow through its own shard's column merger in
-        // canonical (when, src, departTick) order — identical for
-        // every worker count — and are already dispatched (visible to
-        // the deadlock check) when the gate round trip completes.
-        pool.runQuantum(sync.quantumEnd());
+        if (cancel && cancel->cancelled())
+            throwCancelled();
+    } catch (...) {
+        // A supervised abort must not leave the reused watchdog armed
+        // with a dump capturing this (dying) run's objects.
         if (watchdog)
-            watchdog->kick();
-        const auto now_wall = std::chrono::steady_clock::now();
-        const HostNs quantum_ns =
-            std::chrono::duration<double, std::nano>(
-                now_wall - quantum_start_wall)
-                .count();
-        quantum_start_wall = now_wall;
-        sync.completeQuantum(quantum_ns);
-        // Coordinator-only snapshot: all workers are parked at the
-        // barrier and the shard runs are merged, so the cut is
-        // identical for every worker count. The engine-private section
-        // carries only the delivery layer's quiescence proof and
-        // deterministic lifetime counters — never measured wall-clock,
-        // which must not enter the divergence check.
-        if (checkpointer) {
-            ckpt::Writer w;
-            batch.serialize(w);
-            checkpointer->onQuantumCompleted(w.buffer());
-        }
-        if (sync.numQuanta() > max_quanta)
-            fatal("quantum budget exceeded (%llu)",
-                  static_cast<unsigned long long>(max_quanta));
-        if (options_.maxSimTicks &&
-            sync.quantumStart() > options_.maxSimTicks)
-            fatal("simulated time budget exceeded");
+            watchdog->disarm();
+        throw;
     }
 
     const HostNs host_ns = std::chrono::duration<double, std::nano>(

@@ -1,11 +1,25 @@
 #include "engine/watchdog.hh"
 
 #include <chrono>
+#include <cstdio>
 
 #include "base/logging.hh"
 
 namespace aqsim::engine
 {
+
+std::string
+PanicInfo::format() const
+{
+    char head[96];
+    std::snprintf(head, sizeof(head), "  quantum [%llu,%llu)\n",
+                  static_cast<unsigned long long>(quantumStart),
+                  static_cast<unsigned long long>(quantumEnd));
+    std::string out(head);
+    out += progress;
+    out += note;
+    return out;
+}
 
 Watchdog::Watchdog(double deadline_seconds, DumpFn dump)
     : deadlineSeconds_(deadline_seconds), dump_(std::move(dump)),
@@ -33,12 +47,14 @@ Watchdog::~Watchdog()
 }
 
 void
-Watchdog::arm(DumpFn dump)
+Watchdog::arm(DumpFn dump, PanicFn on_panic)
 {
     {
         base::MutexLock lock(mutex_);
         dump_ = std::move(dump);
+        onPanic_ = std::move(on_panic);
         kickCount_ = 0;
+        handlerFired_ = false;
         armed_ = true;
     }
     cv_.notify_all();
@@ -97,16 +113,32 @@ Watchdog::monitor()
                 return stop_ || !armed_ || kickCount_ != last_seen;
             }))
             continue;
-        // Timed out with no progress: fail the run loudly. The dump
-        // callback reads engine state that is by definition not
-        // advancing, so tearing is unlikely; a garbled dump from a
-        // truly racing engine is still better than a silent hang.
-        const std::string dump = dump_ ? dump_() : std::string();
+        // Timed out with no progress. The dump callback reads engine
+        // state that is by definition not advancing, so tearing is
+        // unlikely; a garbled dump from a truly racing engine is
+        // still better than a silent hang.
+        PanicInfo info = dump_ ? dump_() : PanicInfo{};
+        info.deadlineSeconds = deadlineSeconds_;
+        info.quantaCompleted = kickCount_;
+        if (onPanic_ && !handlerFired_) {
+            // Supervised run: hand the structured info to the handler
+            // (which is expected to unwedge the engine) and keep
+            // watching. If another full deadline passes with no
+            // progress the handler failed, and we fall through to the
+            // hard panic below — a watchdog with a broken supervisor
+            // must never hang silently.
+            handlerFired_ = true;
+            onPanic_(info);
+            continue;
+        }
+        // Hard failure path. This runs on the watchdog thread, which
+        // never arms a base::FailureTrap, so panic() aborts the
+        // process here even mid-supervised-run.
         panic("watchdog: no quantum completed in %.1f s "
               "(%llu quanta finished); run is hung\n%s",
               deadlineSeconds_,
               static_cast<unsigned long long>(kickCount_),
-              dump.c_str());
+              info.format().c_str());
     }
 }
 

@@ -10,6 +10,19 @@
  * kick arrives within the configured deadline the watchdog fails the
  * run with a diagnostic dump of per-node progress.
  *
+ * The dump is a structured PanicInfo, not a pre-formatted string: the
+ * quantum window and per-node progress survive as fields whether or
+ * not a checkpoint directory (and hence a panic image) is configured,
+ * so a supervisor can log *where* the run hung even on checkpoint-less
+ * runs.
+ *
+ * Unsupervised runs panic (process dies with the formatted dump).
+ * Supervised runs install a PanicFn: the first expiry hands the
+ * PanicInfo to the handler — which is expected to unwedge the engine,
+ * e.g. via base::CancelToken — and only a *second* consecutive expiry
+ * with no progress hard-panics, so a handler that fails to unwedge the
+ * run can never convert a detected hang into a silent one.
+ *
  * The watchdog observes only *host* time, never simulated time, so an
  * armed watchdog has zero effect on simulation results.
  */
@@ -23,9 +36,32 @@
 #include <thread>
 
 #include "base/mutex.hh"
+#include "base/types.hh"
 
 namespace aqsim::engine
 {
+
+/**
+ * Structured description of a hung run, captured at watchdog expiry
+ * and meaningful independent of checkpoint configuration.
+ */
+struct PanicInfo
+{
+    /** Deadline that expired, in host seconds. */
+    double deadlineSeconds = 0.0;
+    /** Quanta completed before progress stopped. */
+    std::uint64_t quantaCompleted = 0;
+    /** Simulated-tick window of the quantum that hung. */
+    Tick quantumStart = 0;
+    Tick quantumEnd = 0;
+    /** Per-node progress dump (engine::Cluster::progressReport()). */
+    std::string progress;
+    /** Optional annotations (e.g. panic-image path from the ckpt layer). */
+    std::string note;
+
+    /** Render the multi-line human-readable dump body. */
+    std::string format() const;
+};
 
 /**
  * Monitors an engine's quantum loop from a separate host thread and
@@ -35,8 +71,14 @@ namespace aqsim::engine
 class Watchdog
 {
   public:
-    /** Produces the diagnostic dump printed when the run is hung. */
-    using DumpFn = std::function<std::string()>;
+    /** Captures the stuck state when the run is hung. */
+    using DumpFn = std::function<PanicInfo()>;
+
+    /**
+     * Supervised-mode expiry handler; receives the PanicInfo instead
+     * of the process dying. Runs on the watchdog thread.
+     */
+    using PanicFn = std::function<void(const PanicInfo &)>;
 
     /**
      * Construct armed (watching immediately).
@@ -65,9 +107,11 @@ class Watchdog
 
     /**
      * (Re-)arm for a new run: zero the kick count, install this run's
-     * dump callback, restart the deadline window.
+     * dump callback (and optional supervised panic handler), restart
+     * the deadline window.
      */
-    void arm(DumpFn dump) AQSIM_EXCLUDES(mutex_);
+    void arm(DumpFn dump, PanicFn on_panic = nullptr)
+        AQSIM_EXCLUDES(mutex_);
 
     /** Stop watching; kicks still count, but no deadline runs. */
     void disarm() AQSIM_EXCLUDES(mutex_);
@@ -89,7 +133,9 @@ class Watchdog
     mutable base::Mutex mutex_;
     base::CondVar cv_;
     DumpFn dump_ AQSIM_GUARDED_BY(mutex_);
+    PanicFn onPanic_ AQSIM_GUARDED_BY(mutex_);
     std::uint64_t kickCount_ AQSIM_GUARDED_BY(mutex_) = 0;
+    bool handlerFired_ AQSIM_GUARDED_BY(mutex_) = false;
     bool stop_ AQSIM_GUARDED_BY(mutex_) = false;
     bool armed_ AQSIM_GUARDED_BY(mutex_) = false;
 

@@ -1,0 +1,249 @@
+#include "fault/chaos.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "core/quantum_policy.hh"
+
+namespace aqsim::fault
+{
+
+namespace
+{
+
+const std::string *
+findParam(const ChaosSpec &s, const std::string &key)
+{
+    for (const auto &[k, v] : s.params)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+/**
+ * Seeded permutation of the node ids (Fisher-Yates on a private
+ * stream): which nodes a scenario picks is random but a pure function
+ * of the cluster seed.
+ */
+std::vector<NodeId>
+shuffledNodes(std::size_t n, Rng &rng)
+{
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = rng.uniformInt(std::uint64_t{i});
+        std::swap(order[i - 1], order[j]);
+    }
+    return order;
+}
+
+/** Staggered crash windows over a seeded node permutation. */
+void
+rollingCrash(FaultParams &f, const ChaosSpec &s, std::size_t n,
+             Rng &rng)
+{
+    const std::uint64_t def =
+        std::min<std::uint64_t>(3, n > 1 ? n - 1 : 1);
+    const std::uint64_t count = s.count("count", def);
+    const Tick start = s.tick("start", 50'000);
+    const Tick dur = s.tick("dur", 100'000);
+    const Tick stagger = s.tick("stagger", 150'000);
+    if (count == 0 || count >= n)
+        fatal("chaos rolling-crash: count=%llu needs 1..%llu on %llu "
+              "nodes (at least one survivor)",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(n - 1),
+              static_cast<unsigned long long>(n));
+    const std::vector<NodeId> order = shuffledNodes(n, rng);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Tick from = start + i * stagger;
+        f.nodeCrash.push_back(NodeWindow{order[i], from, from + dur});
+    }
+}
+
+/**
+ * Link failures accumulating one after another along a seeded ring
+ * offset, all healing together — the "one switch port after another
+ * browns out" shape.
+ */
+void
+cascadingLink(FaultParams &f, const ChaosSpec &s, std::size_t n,
+              Rng &rng)
+{
+    if (n < 2)
+        fatal("chaos cascading-link needs at least 2 nodes");
+    const std::uint64_t count =
+        s.count("count", std::min<std::uint64_t>(3, n - 1));
+    const Tick start = s.tick("start", 50'000);
+    const Tick stagger = s.tick("stagger", 100'000);
+    const Tick dur = s.tick("dur", 200'000);
+    if (count == 0 || count > n - 1)
+        fatal("chaos cascading-link: count=%llu needs 1..%llu",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(n - 1));
+    const std::uint64_t offset = rng.uniformInt(std::uint64_t{n});
+    const Tick heal = start + count * stagger + dur;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto a = static_cast<NodeId>((offset + i) % n);
+        const auto b = static_cast<NodeId>((offset + i + 1) % n);
+        f.linkDown.push_back(
+            LinkWindow{a, b, start + i * stagger, heal});
+    }
+}
+
+/** A clean bisection (or cut=K split) of the cluster for a window. */
+void
+partition(FaultParams &f, const ChaosSpec &s, std::size_t n)
+{
+    if (n < 2)
+        fatal("chaos partition needs at least 2 nodes");
+    const std::uint64_t cut = s.count("cut", n / 2);
+    const Tick from = s.tick("from", 100'000);
+    const Tick to = s.tick("to", 300'000);
+    if (cut == 0 || cut >= n)
+        fatal("chaos partition: cut=%llu needs 1..%llu",
+              static_cast<unsigned long long>(cut),
+              static_cast<unsigned long long>(n - 1));
+    for (std::uint64_t a = 0; a < cut; ++a)
+        for (std::uint64_t b = cut; b < n; ++b)
+            f.linkDown.push_back(LinkWindow{static_cast<NodeId>(a),
+                                            static_cast<NodeId>(b),
+                                            from, to});
+}
+
+/** One link going down/up periodically. */
+void
+flap(FaultParams &f, const ChaosSpec &s, std::size_t n)
+{
+    if (n < 2)
+        fatal("chaos flap needs at least 2 nodes");
+    const auto a = static_cast<NodeId>(s.count("a", 0));
+    const auto b = static_cast<NodeId>(s.count("b", 1));
+    const Tick start = s.tick("start", 50'000);
+    const Tick period = s.tick("period", 100'000);
+    const Tick dur = s.tick("dur", 20'000);
+    const std::uint64_t cycles = s.count("count", 5);
+    if (dur >= period)
+        fatal("chaos flap: dur must be shorter than period");
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        const Tick from = start + i * period;
+        f.linkDown.push_back(LinkWindow{a, b, from, from + dur});
+    }
+}
+
+/** A window of elevated random drop on every link. */
+void
+lossBurst(FaultParams &f, const ChaosSpec &s)
+{
+    const Tick start = s.tick("start", 50'000);
+    const Tick dur = s.tick("dur", 200'000);
+    f.lossBursts.push_back(
+        LossBurst{start, start + dur, s.rate("rate", 0.3)});
+}
+
+} // namespace
+
+Tick
+ChaosSpec::tick(const std::string &key, Tick def) const
+{
+    const std::string *v = findParam(*this, key);
+    return v ? core::parseTicks(*v) : def;
+}
+
+std::uint64_t
+ChaosSpec::count(const std::string &key, std::uint64_t def) const
+{
+    const std::string *v = findParam(*this, key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const std::uint64_t parsed = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0')
+        fatal("chaos %s: '%s' is not a count", name.c_str(),
+              v->c_str());
+    return parsed;
+}
+
+double
+ChaosSpec::rate(const std::string &key, double def) const
+{
+    const std::string *v = findParam(*this, key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+        fatal("chaos %s: '%s' is not a rate", name.c_str(),
+              v->c_str());
+    return parsed;
+}
+
+std::vector<ChaosSpec>
+parseChaosSpec(const std::string &text)
+{
+    std::vector<ChaosSpec> specs;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t next = text.find('+', pos);
+        if (next == std::string::npos)
+            next = text.size();
+        const std::string part = text.substr(pos, next - pos);
+        pos = next + 1;
+
+        ChaosSpec spec;
+        const std::size_t colon = part.find(':');
+        spec.name = part.substr(0, colon);
+        if (spec.name.empty())
+            fatal("chaos spec '%s': empty scenario name", text.c_str());
+        if (colon != std::string::npos) {
+            std::size_t p = colon + 1;
+            while (p <= part.size()) {
+                std::size_t comma = part.find(',', p);
+                if (comma == std::string::npos)
+                    comma = part.size();
+                const std::string kv = part.substr(p, comma - p);
+                p = comma + 1;
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= kv.size())
+                    fatal("chaos spec '%s': parameter '%s' is not k=v",
+                          text.c_str(), kv.c_str());
+                spec.params.emplace_back(kv.substr(0, eq),
+                                         kv.substr(eq + 1));
+            }
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+void
+applyChaos(FaultParams &faults, const std::string &spec,
+           std::size_t num_nodes, std::uint64_t seed)
+{
+    // Private child stream: chaos placement randomness must never
+    // perturb (or be perturbed by) any stream the simulation draws.
+    Rng rng = Rng(seed).fork(0xc4a0500ULL);
+    for (const ChaosSpec &s : parseChaosSpec(spec)) {
+        if (s.name == "rolling-crash")
+            rollingCrash(faults, s, num_nodes, rng);
+        else if (s.name == "cascading-link")
+            cascadingLink(faults, s, num_nodes, rng);
+        else if (s.name == "partition")
+            partition(faults, s, num_nodes);
+        else if (s.name == "flap")
+            flap(faults, s, num_nodes);
+        else if (s.name == "loss-burst")
+            lossBurst(faults, s);
+        else
+            fatal("unknown chaos scenario '%s' (catalog: "
+                  "rolling-crash, cascading-link, partition, flap, "
+                  "loss-burst)",
+                  s.name.c_str());
+    }
+}
+
+} // namespace aqsim::fault

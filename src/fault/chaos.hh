@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chaos scenarios: named, composable, seed-deterministic fault
+ * campaigns compiled into FaultInjector primitives.
+ *
+ * Single-knob fault flags (--drop-rate, --link-down A:B:F:T) describe
+ * one failure; real cluster incidents are *campaigns* — a rack loses
+ * nodes one after another, a cable flaps, a partition opens and heals.
+ * A chaos spec names such a campaign:
+ *
+ *     rolling-crash:count=3,start=50us,dur=100us,stagger=150us
+ *
+ * and applyChaos() compiles it into the existing scheduled-window /
+ * loss-burst primitives on FaultParams. Scenarios compose with '+'
+ * ("rolling-crash+loss-burst:rate=0.2"). Everything randomized (which
+ * nodes crash, which links flap) draws from a child of the cluster
+ * seed, so a chaos run inherits the fault layer's full determinism
+ * contract: bit-identical across engines, worker counts, and
+ * checkpoint-restore replays.
+ *
+ * Catalog (see docs/fault-injection.md for parameter tables):
+ *  - rolling-crash   staggered node crash windows over a seeded node
+ *                    permutation
+ *  - cascading-link  link failures accumulating one after another,
+ *                    healing together
+ *  - partition       a clean bisection (or count= cut) of the cluster
+ *                    for a window
+ *  - flap            one link going down/up periodically
+ *  - loss-burst      a window of elevated random drop on every link
+ */
+
+#ifndef AQSIM_FAULT_CHAOS_HH
+#define AQSIM_FAULT_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "fault/fault_injector.hh"
+
+namespace aqsim::fault
+{
+
+/** One parsed scenario: a name plus its k=v parameters. */
+struct ChaosSpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Typed lookups with defaults; fatal() on malformed values. */
+    Tick tick(const std::string &key, Tick def) const;
+    std::uint64_t count(const std::string &key, std::uint64_t def) const;
+    double rate(const std::string &key, double def) const;
+};
+
+/**
+ * Parse a '+'-separated chaos spec string
+ * ("name[:k=v,...][+name[:k=v,...]]"). fatal()s on syntax errors;
+ * unknown scenario names are rejected later, by applyChaos().
+ */
+std::vector<ChaosSpec> parseChaosSpec(const std::string &text);
+
+/**
+ * Compile @p spec and append the resulting windows/bursts to
+ * @p faults. Randomized choices draw from a child of @p seed only —
+ * never from any stream the simulation itself consumes.
+ */
+void applyChaos(FaultParams &faults, const std::string &spec,
+                std::size_t num_nodes, std::uint64_t seed);
+
+} // namespace aqsim::fault
+
+#endif // AQSIM_FAULT_CHAOS_HH

@@ -23,7 +23,8 @@ FaultParams::anyEnabled() const
 {
     return dropRate > 0.0 || duplicateRate > 0.0 || corruptRate > 0.0 ||
            (jitterRate > 0.0 && maxJitterTicks > 0) ||
-           !linkDown.empty() || !nodeCrash.empty() || !nodePause.empty();
+           !linkDown.empty() || !nodeCrash.empty() ||
+           !nodePause.empty() || !lossBursts.empty();
 }
 
 FaultInjector::FaultInjector(std::size_t num_nodes, FaultParams params,
@@ -65,6 +66,13 @@ FaultInjector::FaultInjector(std::size_t num_nodes, FaultParams params,
                       static_cast<unsigned long long>(w.from),
                       static_cast<unsigned long long>(w.to));
         }
+    }
+    for (const auto &b : params_.lossBursts) {
+        validateRate(b.rate, "loss-burst");
+        if (b.from >= b.to)
+            fatal("loss-burst window [%llu,%llu) is empty",
+                  static_cast<unsigned long long>(b.from),
+                  static_cast<unsigned long long>(b.to));
     }
     forkStreams();
 }
@@ -120,7 +128,18 @@ FaultInjector::decide(NodeId src, NodeId dst, Tick depart_tick)
 
     // Fixed draw order per frame on the link's private stream: the
     // decision sequence depends only on the per-link frame sequence.
+    // Burst draws come first and are conditioned on departTick alone
+    // (itself part of the frame sequence), so the stream stays pure.
     Rng &rng = linkRng_[linkIndex(src, dst)];
+    for (const auto &b : params_.lossBursts) {
+        if (depart_tick >= b.from && depart_tick < b.to &&
+            rng.bernoulli(b.rate)) {
+            d.drop = true;
+            ++totalDropped_;
+            ++statDropped_;
+            return d;
+        }
+    }
     if (params_.dropRate > 0.0 && rng.bernoulli(params_.dropRate)) {
         d.drop = true;
         ++totalDropped_;

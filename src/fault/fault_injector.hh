@@ -57,6 +57,24 @@ struct NodeWindow
     Tick to = maxTick;
 };
 
+/**
+ * A scheduled loss burst: frames (on every link) departing in
+ * [from, to) are dropped with an extra probability on top of the
+ * steady-state dropRate — a congestion spike or a wobbling cable,
+ * scheduled in simulated time. The burst draw happens on the per-link
+ * stream, conditioned only on departTick, which is itself part of the
+ * per-link frame sequence — so the sequence-purity determinism
+ * contract is preserved.
+ */
+struct LossBurst
+{
+    /** Frames departing in [from, to) are affected. */
+    Tick from = 0;
+    Tick to = maxTick;
+    /** Drop probability inside the window. */
+    double rate = 0.0;
+};
+
 /** Configuration of the fault model (all links share the same rates). */
 struct FaultParams
 {
@@ -77,6 +95,8 @@ struct FaultParams
     std::vector<NodeWindow> nodeCrash;
     /** Paused nodes: frames to or from them are held to window end. */
     std::vector<NodeWindow> nodePause;
+    /** Scheduled windows of elevated drop probability. */
+    std::vector<LossBurst> lossBursts;
 
     /** @return true if any fault source is configured. */
     bool anyEnabled() const;

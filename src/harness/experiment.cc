@@ -68,12 +68,19 @@ runExperiment(const ExperimentConfig &config)
     options.recordTimeline = config.recordTimeline;
 
     ExperimentOutput out;
-    engine::Cluster cluster(cluster_params, *workload);
+    supervise::RunRequest request;
+    request.engineKind = supervise::EngineKind::Sequential;
+    request.engine = options;
+    request.cluster = cluster_params;
+    request.workload = workload.get();
+    request.policy = policy.get();
     if (config.recordTrace)
-        out.trace.attach(cluster.controller());
+        request.onClusterBuilt = [&out](engine::Cluster &cluster) {
+            out.trace.attach(cluster.controller());
+        };
 
-    engine::SequentialEngine engine(options);
-    out.result = engine.run(cluster, *policy);
+    supervise::RunSupervisor supervisor(config.supervise);
+    out.result = supervisor.run(request);
     return out;
 }
 

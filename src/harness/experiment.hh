@@ -21,6 +21,7 @@
 #include "engine/cluster.hh"
 #include "engine/run_result.hh"
 #include "engine/sequential_engine.hh"
+#include "supervise/run_supervisor.hh"
 #include "trace/packet_trace.hh"
 
 namespace aqsim::harness
@@ -68,6 +69,13 @@ struct ExperimentConfig
     bool recordTimeline = false;
     bool recordTrace = false;
     engine::EngineOptions engine;
+    /**
+     * Self-healing supervision (off by default: one plain engine
+     * run). When enabled, failures restore from the newest good
+     * checkpoint and retry within the restart budget; see
+     * docs/supervision.md.
+     */
+    supervise::SuperviseOptions supervise;
 };
 
 /** Result bundle: the run plus the optional packet trace. */
@@ -77,7 +85,11 @@ struct ExperimentOutput
     trace::PacketTrace trace;
 };
 
-/** Execute one experiment on the SequentialEngine. */
+/**
+ * Execute one experiment on the sequential engine, routed through the
+ * run supervisor (the harness's only path to an engine; a disabled
+ * supervisor degenerates to one plain run).
+ */
 ExperimentOutput runExperiment(const ExperimentConfig &config);
 
 /**

@@ -1,0 +1,83 @@
+#include "supervise/escalation.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "ckpt/ckpt_io.hh"
+
+namespace aqsim::supervise
+{
+
+ConservativeWindowPolicy::ConservativeWindowPolicy(
+    std::unique_ptr<core::QuantumPolicy> inner, Tick safe_quantum,
+    std::uint64_t fail_quantum, std::uint64_t window_quanta)
+    : inner_(std::move(inner)), safe_(safe_quantum),
+      failQuantum_(fail_quantum), window_(window_quanta)
+{
+    AQSIM_ASSERT(inner_ != nullptr);
+    AQSIM_ASSERT(safe_ > 0);
+}
+
+bool
+ConservativeWindowPolicy::guarded(std::uint64_t index) const
+{
+    const std::uint64_t lo =
+        failQuantum_ > window_ ? failQuantum_ - window_ : 0;
+    return index >= lo && index <= failQuantum_ + window_;
+}
+
+Tick
+ConservativeWindowPolicy::initialQuantum() const
+{
+    const Tick q = inner_->initialQuantum();
+    return guarded(0) ? std::min(q, safe_) : q;
+}
+
+Tick
+ConservativeWindowPolicy::next(std::uint64_t packets_last_quantum)
+{
+    // Always drive the inner policy so its adaptation state tracks
+    // the traffic it would have seen unguarded; exiting the window
+    // then resumes the adaptive schedule instead of restarting it.
+    const Tick q = inner_->next(packets_last_quantum);
+    ++index_;
+    return guarded(index_) ? std::min(q, safe_) : q;
+}
+
+void
+ConservativeWindowPolicy::reset()
+{
+    inner_->reset();
+    index_ = 0;
+}
+
+std::string
+ConservativeWindowPolicy::name() const
+{
+    return "guard:" + inner_->name();
+}
+
+std::unique_ptr<core::QuantumPolicy>
+ConservativeWindowPolicy::clone() const
+{
+    auto copy = std::make_unique<ConservativeWindowPolicy>(
+        inner_->clone(), safe_, failQuantum_, window_);
+    copy->index_ = index_;
+    return copy;
+}
+
+void
+ConservativeWindowPolicy::serialize(ckpt::Writer &w) const
+{
+    w.u64(index_);
+    inner_->serialize(w);
+}
+
+void
+ConservativeWindowPolicy::deserialize(ckpt::Reader &r)
+{
+    index_ = r.u64();
+    inner_->deserialize(r);
+}
+
+} // namespace aqsim::supervise

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Livelock escalation: a policy wrapper that forces provably safe
+ * quanta around the failing region.
+ *
+ * When the supervisor sees the same quantum fail repeatedly (restore →
+ * replay → fail again at the same spot), retrying harder cannot help:
+ * the failure is a deterministic function of the schedule. The
+ * escalation step reruns with the adaptive policy clamped to the
+ * conservative Q <= T bound (the network's minimum latency — the
+ * paper's "only deterministically correct execution") for a window of
+ * quanta around the failure point, which removes stragglers and
+ * speculative lateness exactly where the run keeps dying while keeping
+ * the rest of the run adaptive.
+ *
+ * The wrapper changes the policy name (and therefore the checkpoint
+ * config fingerprint), so escalated attempts never restore from or
+ * write checkpoints — they trade bit-identity with the clean run for
+ * forward progress, and the incident log records that trade.
+ */
+
+#ifndef AQSIM_SUPERVISE_ESCALATION_HH
+#define AQSIM_SUPERVISE_ESCALATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/types.hh"
+#include "core/quantum_policy.hh"
+
+namespace aqsim::supervise
+{
+
+/**
+ * Clamps an inner policy to a safe quantum bound inside a window of
+ * quantum indices around a failure point; transparent outside it.
+ */
+class ConservativeWindowPolicy : public core::QuantumPolicy
+{
+  public:
+    /**
+     * @param inner policy to wrap (adaptation keeps running even
+     *        inside the window, so exiting it resumes seamlessly)
+     * @param safe_quantum the conservative bound (network min latency)
+     * @param fail_quantum quantum index the run kept failing at
+     * @param window_quanta half-width of the guarded index window
+     */
+    ConservativeWindowPolicy(std::unique_ptr<core::QuantumPolicy> inner,
+                             Tick safe_quantum,
+                             std::uint64_t fail_quantum,
+                             std::uint64_t window_quanta);
+
+    Tick initialQuantum() const override;
+    Tick next(std::uint64_t packets_last_quantum) override;
+    void reset() override;
+    /** "guard:" + inner name: escalated runs fingerprint differently. */
+    std::string name() const override;
+    std::unique_ptr<core::QuantumPolicy> clone() const override;
+    void serialize(ckpt::Writer &w) const override;
+    void deserialize(ckpt::Reader &r) override;
+
+    /** @return true if quantum @p index falls in the guarded window. */
+    bool guarded(std::uint64_t index) const;
+
+  private:
+    std::unique_ptr<core::QuantumPolicy> inner_;
+    Tick safe_;
+    std::uint64_t failQuantum_;
+    std::uint64_t window_;
+    /** Index of the next quantum a decision will apply to. */
+    std::uint64_t index_ = 0;
+};
+
+} // namespace aqsim::supervise
+
+#endif // AQSIM_SUPERVISE_ESCALATION_HH

@@ -1,0 +1,79 @@
+#include "supervise/incident_log.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace aqsim::supervise
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON string escaping: backslash, quote, and control
+ * characters. Incident fields are ASCII diagnostics, so no UTF-8
+ * handling is needed beyond passing bytes through.
+ */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Incident::toJson() const
+{
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "{\"attempt\":%llu,\"cause\":\"",
+                  static_cast<unsigned long long>(attempt));
+    char mid[96];
+    std::snprintf(mid, sizeof(mid),
+                  "\",\"quantum\":%llu,\"backoff_s\":%.6g,",
+                  static_cast<unsigned long long>(quantum),
+                  backoffSeconds);
+    return std::string(head) + escapeJson(cause) + mid +
+           "\"restore_source\":\"" + escapeJson(restoreSource) +
+           "\",\"outcome\":\"" + escapeJson(outcome) +
+           "\",\"detail\":\"" + escapeJson(detail) + "\"}";
+}
+
+IncidentLog::IncidentLog(std::string path) : path_(std::move(path)) {}
+
+void
+IncidentLog::append(Incident incident)
+{
+    if (!path_.empty()) {
+        // Append-mode reopen per record: incidents are rare (one per
+        // recovery decision) and an open-per-write log survives the
+        // supervisor being destroyed mid-run by a propagating abort.
+        std::ofstream out(path_, std::ios::app);
+        if (out)
+            out << incident.toJson() << '\n';
+    }
+    incidents_.push_back(std::move(incident));
+}
+
+} // namespace aqsim::supervise

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine-readable recovery incident log.
+ *
+ * Every supervisor decision — retry after a failure, escalation to
+ * the conservative guard, final abort, successful recovery — becomes
+ * one Incident, appended to an in-memory list and (when a path is
+ * configured) one JSON line in a JSONL file. The schema is stable and
+ * validated by scripts/check_incidents.py in CI; see
+ * docs/supervision.md for the field table.
+ */
+
+#ifndef AQSIM_SUPERVISE_INCIDENT_LOG_HH
+#define AQSIM_SUPERVISE_INCIDENT_LOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqsim::supervise
+{
+
+/** One supervisor decision, serializable as a JSONL record. */
+struct Incident
+{
+    /** 1-based attempt the decision concluded. */
+    std::uint64_t attempt = 0;
+    /** Failure cause ("watchdog", "panic", "fatal", "injected") or
+     * "none" for the terminal recovered record. */
+    std::string cause;
+    /** Quanta completed when the attempt ended (0 = unknown). */
+    std::uint64_t quantum = 0;
+    /** Checkpoint file the attempt restored from ("" = cold start). */
+    std::string restoreSource;
+    /** Sleep before the next attempt, in host seconds. */
+    double backoffSeconds = 0.0;
+    /** "retry", "escalate", "abort" or "recovered". */
+    std::string outcome;
+    /** Human-readable failure detail. */
+    std::string detail;
+
+    /** One-line JSON object (the JSONL record). */
+    std::string toJson() const;
+};
+
+/** Append-only incident list, optionally mirrored to a JSONL file. */
+class IncidentLog
+{
+  public:
+    /** @param path JSONL file to append to ("" = memory only). */
+    explicit IncidentLog(std::string path = "");
+
+    /** Record @p incident (and append its JSON line to the file). */
+    void append(Incident incident);
+
+    const std::vector<Incident> &incidents() const { return incidents_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<Incident> incidents_;
+};
+
+} // namespace aqsim::supervise
+
+#endif // AQSIM_SUPERVISE_INCIDENT_LOG_HH

@@ -1,0 +1,3 @@
+#ifndef TOOLS_HH
+#define TOOLS_HH
+#endif

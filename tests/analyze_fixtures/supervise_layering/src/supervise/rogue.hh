@@ -1,0 +1,4 @@
+#ifndef ROGUE_HH
+#define ROGUE_HH
+#include "harness/tools.hh"
+#endif

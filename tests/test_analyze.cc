@@ -103,6 +103,7 @@ TEST(AnalyzeLayers, ModuleMapping)
     EXPECT_EQ(moduleOf("ckpt/ckpt_io.hh"), "ckpt_io");
     EXPECT_EQ(moduleOf("ckpt/ckpt_io.cc"), "ckpt_io");
     EXPECT_EQ(moduleOf("ckpt/checkpoint.hh"), "ckpt");
+    EXPECT_EQ(moduleOf("supervise/run_supervisor.cc"), "supervise");
 }
 
 TEST(AnalyzeLayers, LayerOrder)
@@ -113,7 +114,10 @@ TEST(AnalyzeLayers, LayerOrder)
     EXPECT_LT(layerOf("sim"), layerOf("net"));
     EXPECT_LT(layerOf("net"), layerOf("engine"));
     EXPECT_EQ(layerOf("engine"), layerOf("ckpt"));
-    EXPECT_LT(layerOf("engine"), layerOf("harness"));
+    // The supervisor drives engines and is itself the harness's only
+    // path to them (the engine-seam lint rule).
+    EXPECT_LT(layerOf("engine"), layerOf("supervise"));
+    EXPECT_LT(layerOf("supervise"), layerOf("harness"));
     EXPECT_LT(layerOf("harness"), layerOf("root"));
     EXPECT_EQ(layerOf("no_such_module"), -1);
 }
@@ -134,6 +138,16 @@ TEST(AnalyzeFixtures, LayeringCatchesUpwardEdgesAndCycles)
     EXPECT_EQ(findings[2].file, "net/wire.hh");
     EXPECT_EQ(findings[2].rule, "include-cycle");
     EXPECT_EQ(findings[3].rule, "layering");
+}
+
+TEST(AnalyzeFixtures, SuperviseBelowHarness)
+{
+    // The supervise module must not reach up into the harness: the
+    // harness composes experiments *on top of* the supervisor.
+    const auto findings = analyzeTree(fixture("supervise_layering"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "supervise/rogue.hh");
+    EXPECT_EQ(findings[0].rule, "layering");
 }
 
 TEST(AnalyzeFixtures, DeterminismRules)
@@ -231,6 +245,7 @@ TEST(AnalyzeBinary, GoldenOutputsAndExitCodes)
         {"ckpt_coverage", 1},
         {"queue_seam", 1},
         {"queue_seam_dispatch", 1},
+        {"supervise_layering", 1},
     };
     for (const auto &[name, want_exit] : cases) {
         const auto [code, out] = run(std::string(AQSIM_ANALYZE_BIN) +

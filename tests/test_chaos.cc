@@ -1,0 +1,197 @@
+/**
+ * Chaos scenario engine tests: spec parsing (including the '+'
+ * composition and k=v parameter grammar), the compiled shape of every
+ * catalog scenario, seed determinism of randomized placement, rejection
+ * of malformed specs, and cross-engine bit-identity of a chaos run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/threaded_engine.hh"
+#include "fault/chaos.hh"
+#include "test_util.hh"
+
+using namespace aqsim;
+
+namespace
+{
+
+fault::FaultParams
+compiled(const std::string &spec, std::size_t n = 4,
+         std::uint64_t seed = 7)
+{
+    fault::FaultParams faults;
+    fault::applyChaos(faults, spec, n, seed);
+    return faults;
+}
+
+} // namespace
+
+TEST(ChaosSpec, ParsesNamesParametersAndComposition)
+{
+    const auto specs = fault::parseChaosSpec(
+        "rolling-crash:count=2,start=10us+loss-burst:rate=0.5");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].name, "rolling-crash");
+    ASSERT_EQ(specs[0].params.size(), 2u);
+    EXPECT_EQ(specs[0].params[0].first, "count");
+    EXPECT_EQ(specs[0].params[0].second, "2");
+    EXPECT_EQ(specs[0].count("count", 99), 2u);
+    EXPECT_EQ(specs[0].tick("start", 0), microseconds(10));
+    // Missing keys fall back to the caller's default.
+    EXPECT_EQ(specs[0].count("nope", 42), 42u);
+    EXPECT_EQ(specs[1].name, "loss-burst");
+    EXPECT_DOUBLE_EQ(specs[1].rate("rate", 0.0), 0.5);
+}
+
+TEST(ChaosSpecDeath, MalformedSpecsAreFatal)
+{
+    EXPECT_DEATH(fault::parseChaosSpec("+flap"), "empty scenario");
+    EXPECT_DEATH(fault::parseChaosSpec("flap:dur"), "not k=v");
+    EXPECT_DEATH(fault::parseChaosSpec("flap:=3"), "not k=v");
+    EXPECT_DEATH(compiled("no-such-scenario"),
+                 "unknown chaos scenario");
+    EXPECT_DEATH(compiled("rolling-crash:count=4", 4),
+                 "at least one survivor");
+    EXPECT_DEATH(compiled("flap:dur=100us,period=100us"),
+                 "shorter than period");
+    EXPECT_DEATH(compiled("partition:cut=0"), "needs 1..");
+    EXPECT_DEATH(compiled("rolling-crash:count=x"), "not a count");
+    EXPECT_DEATH(compiled("loss-burst:rate=abc"), "not a rate");
+}
+
+TEST(Chaos, RollingCrashStaggersDistinctNodes)
+{
+    const auto faults = compiled("rolling-crash", 4);
+    // Default count on 4 nodes: min(3, n-1) = 3 crash windows.
+    ASSERT_EQ(faults.nodeCrash.size(), 3u);
+    std::set<NodeId> nodes;
+    for (std::size_t i = 0; i < faults.nodeCrash.size(); ++i) {
+        const auto &w = faults.nodeCrash[i];
+        nodes.insert(w.node);
+        EXPECT_EQ(w.from, microseconds(50) + i * microseconds(150));
+        EXPECT_EQ(w.to, w.from + microseconds(100));
+    }
+    // The permutation never crashes the same node twice.
+    EXPECT_EQ(nodes.size(), 3u);
+    EXPECT_TRUE(faults.linkDown.empty());
+    EXPECT_TRUE(faults.lossBursts.empty());
+}
+
+TEST(Chaos, CascadingLinkAccumulatesAndHealsTogether)
+{
+    const auto faults = compiled("cascading-link:count=3", 6);
+    ASSERT_EQ(faults.linkDown.size(), 3u);
+    const Tick heal = faults.linkDown[0].to;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto &w = faults.linkDown[i];
+        EXPECT_EQ(w.from,
+                  microseconds(50) + i * microseconds(100));
+        EXPECT_EQ(w.to, heal); // all heal at the same instant
+        EXPECT_NE(w.a, w.b);
+    }
+}
+
+TEST(Chaos, PartitionCutsEveryCrossPair)
+{
+    const auto faults = compiled("partition", 4);
+    // Default bisection of 4 nodes: 2x2 cross pairs.
+    ASSERT_EQ(faults.linkDown.size(), 4u);
+    for (const auto &w : faults.linkDown) {
+        EXPECT_LT(w.a, 2u);
+        EXPECT_GE(w.b, 2u);
+        EXPECT_EQ(w.from, microseconds(100));
+        EXPECT_EQ(w.to, microseconds(300));
+    }
+}
+
+TEST(Chaos, FlapTogglesOneLinkPeriodically)
+{
+    const auto faults = compiled("flap:count=5,a=1,b=3");
+    ASSERT_EQ(faults.linkDown.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        const auto &w = faults.linkDown[i];
+        EXPECT_EQ(w.a, 1u);
+        EXPECT_EQ(w.b, 3u);
+        EXPECT_EQ(w.from,
+                  microseconds(50) + i * microseconds(100));
+        EXPECT_EQ(w.to, w.from + microseconds(20));
+    }
+}
+
+TEST(Chaos, LossBurstWindowsTheElevatedRate)
+{
+    const auto faults = compiled("loss-burst:rate=0.4,dur=100us");
+    ASSERT_EQ(faults.lossBursts.size(), 1u);
+    EXPECT_EQ(faults.lossBursts[0].from, microseconds(50));
+    EXPECT_EQ(faults.lossBursts[0].to, microseconds(150));
+    EXPECT_DOUBLE_EQ(faults.lossBursts[0].rate, 0.4);
+}
+
+TEST(Chaos, CompositionAppendsEveryScenario)
+{
+    const auto faults =
+        compiled("rolling-crash:count=1+partition+loss-burst", 4);
+    EXPECT_EQ(faults.nodeCrash.size(), 1u);
+    EXPECT_EQ(faults.linkDown.size(), 4u);
+    EXPECT_EQ(faults.lossBursts.size(), 1u);
+}
+
+TEST(Chaos, PlacementIsAPureFunctionOfTheSeed)
+{
+    const auto a = compiled("rolling-crash+cascading-link", 8, 123);
+    const auto b = compiled("rolling-crash+cascading-link", 8, 123);
+    ASSERT_EQ(a.nodeCrash.size(), b.nodeCrash.size());
+    for (std::size_t i = 0; i < a.nodeCrash.size(); ++i) {
+        EXPECT_EQ(a.nodeCrash[i].node, b.nodeCrash[i].node);
+        EXPECT_EQ(a.nodeCrash[i].from, b.nodeCrash[i].from);
+    }
+    ASSERT_EQ(a.linkDown.size(), b.linkDown.size());
+    for (std::size_t i = 0; i < a.linkDown.size(); ++i) {
+        EXPECT_EQ(a.linkDown[i].a, b.linkDown[i].a);
+        EXPECT_EQ(a.linkDown[i].b, b.linkDown[i].b);
+    }
+
+    // A different seed shuffles placement (8 nodes: the odds of an
+    // identical 3-crash draw are small enough to assert against).
+    const auto c = compiled("rolling-crash+cascading-link", 8, 124);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.nodeCrash.size(); ++i)
+        differs |= a.nodeCrash[i].node != c.nodeCrash[i].node;
+    for (std::size_t i = 0; i < a.linkDown.size(); ++i)
+        differs |= a.linkDown[i].a != c.linkDown[i].a;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, ChaosRunIsBitIdenticalAcrossEngines)
+{
+    // The scenario compiler only appends windows to FaultParams, so a
+    // chaos run inherits the fault layer's determinism contract:
+    // sequential and threaded engines agree bit-for-bit.
+    auto params = harness::defaultCluster(4, 7);
+    fault::applyChaos(params.faults, "rolling-crash+loss-burst:rate=0.2",
+                      params.numNodes, params.seed);
+    params.mpiParams.reliable = true;
+
+    auto workload = workloads::makeWorkload("burst", 4, 0.05);
+    auto policy = core::parsePolicy("fixed:1us");
+    engine::SequentialEngine seq;
+    const auto golden = seq.run(params, *workload, *policy);
+    EXPECT_GT(golden.droppedFrames, 0u); // the chaos actually bit
+
+    for (const std::size_t workers : {1, 2, 4}) {
+        engine::EngineOptions options;
+        options.numWorkers = workers;
+        engine::ThreadedEngine thr(options);
+        auto w = workloads::makeWorkload("burst", 4, 0.05);
+        auto p = core::parsePolicy("fixed:1us");
+        const auto run = thr.run(params, *w, *p);
+        EXPECT_EQ(run.finalStateHash, golden.finalStateHash)
+            << workers << " workers";
+        EXPECT_EQ(run.simTicks, golden.simTicks) << workers;
+        EXPECT_EQ(run.packets, golden.packets) << workers;
+    }
+}

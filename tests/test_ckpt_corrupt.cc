@@ -34,8 +34,13 @@ struct CorruptFixture : public ::testing::Test
     void
     SetUp() override
     {
+        // Per-test directory: ctest runs each test in its own process,
+        // concurrently — a shared path would race SetUp/TearDown.
+        const std::string test_name = ::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name();
         dir = (std::filesystem::temp_directory_path() /
-               "aqsim_ckpt_corrupt")
+               ("aqsim_ckpt_corrupt_" + test_name))
                   .string();
         std::filesystem::remove_all(dir);
 
@@ -210,6 +215,66 @@ TEST_F(CorruptFixture, MetaSectionHashGuardsSectionSubstitution)
     EXPECT_FALSE(decodeImage(encodeFile(a), image, error));
     EXPECT_NE(error.str().find("hash"), std::string::npos)
         << error.str();
+}
+
+TEST_F(CorruptFixture, RotationNeverDeletesNewestVerifiedUnderKeepLastOne)
+{
+    // The supervisor's recovery guarantee hinges on this: with
+    // keep-last-1, neither a torn in-flight write nor a torn external
+    // file newer than the verified image may ever consume the only
+    // checkpoint recovery is guaranteed to accept.
+    const std::string rot = dir + "_rot";
+    std::filesystem::remove_all(rot);
+    CheckpointManager manager(rot, 100, /*keep_last=*/1);
+
+    CheckpointImage image;
+    CkptError error;
+    ASSERT_TRUE(decodeImage(readImage(files.back()), image, error))
+        << error.str();
+
+    // Two good writes: plain keep-last-1 rotation leaves the newest.
+    ASSERT_TRUE(manager.write(image, error)) << error.str();
+    image.quantumIndex += 100;
+    ASSERT_TRUE(manager.write(image, error)) << error.str();
+    const std::string good = manager.verifiedPath();
+    EXPECT_TRUE(std::filesystem::exists(good));
+    EXPECT_EQ(std::distance(
+                  std::filesystem::directory_iterator(rot),
+                  std::filesystem::directory_iterator()),
+              1);
+
+    // A torn in-flight write must fail read-back verification, be
+    // deleted on the spot, and not rotate the good image away.
+    manager.corruptNextWriteForTest();
+    image.quantumIndex += 100;
+    CkptError torn;
+    EXPECT_FALSE(manager.write(image, torn));
+    EXPECT_EQ(torn.section, "verify");
+    EXPECT_TRUE(std::filesystem::exists(good));
+
+    // An externally written torn file *newer* than the next good
+    // write: rotation counts it against the keep budget, but must
+    // skip the newest verified image rather than delete it.
+    char name[48];
+    std::snprintf(name, sizeof(name), "/ckpt-q%012llu.aqc",
+                  static_cast<unsigned long long>(
+                      image.quantumIndex + 200));
+    writeRaw(rot + name, {0xde, 0xad, 0xbe, 0xef});
+    image.quantumIndex += 100; // good write, older than the torn file
+    ASSERT_TRUE(manager.write(image, error)) << error.str();
+    const std::string survivor = manager.verifiedPath();
+    EXPECT_TRUE(std::filesystem::exists(survivor));
+
+    // Recovery falls back past the torn newest file to the verified
+    // image rotation preserved.
+    CheckpointImage best;
+    std::string path;
+    ASSERT_TRUE(manager.loadBest(best, path, error)) << error.str();
+    EXPECT_EQ(path, survivor);
+    EXPECT_EQ(best.quantumIndex, image.quantumIndex);
+    EXPECT_EQ(manager.skipped().size(), 1u);
+
+    std::filesystem::remove_all(rot);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <future>
 #include <thread>
 
 #include "engine/threaded_engine.hh"
@@ -20,7 +21,7 @@ using test::runLambda;
 
 TEST(Watchdog, CountsKicksAndDisarmsCleanly)
 {
-    engine::Watchdog dog(30.0, [] { return std::string("dump"); });
+    engine::Watchdog dog(30.0, [] { return engine::PanicInfo{}; });
     EXPECT_EQ(dog.kicks(), 0u);
     dog.kick();
     dog.kick();
@@ -31,7 +32,7 @@ TEST(Watchdog, CountsKicksAndDisarmsCleanly)
 
 TEST(Watchdog, RegularKicksKeepItQuietPastTheDeadline)
 {
-    engine::Watchdog dog(0.25, [] { return std::string("dump"); });
+    engine::Watchdog dog(0.25, [] { return engine::PanicInfo{}; });
     // Kick well past several deadline periods; each kick rearms the
     // timer so the watchdog never fires.
     for (int i = 0; i < 12; ++i) {
@@ -54,7 +55,7 @@ TEST(Watchdog, DisarmedWatchdogNeverFires)
 TEST(Watchdog, RearmZeroesKickCountAndSwapsTheDump)
 {
     engine::Watchdog dog(30.0);
-    dog.arm([] { return std::string("run one"); });
+    dog.arm([] { return engine::PanicInfo{}; });
     EXPECT_TRUE(dog.armed());
     dog.kick();
     dog.kick();
@@ -62,7 +63,7 @@ TEST(Watchdog, RearmZeroesKickCountAndSwapsTheDump)
     dog.disarm();
     EXPECT_FALSE(dog.armed());
     // Re-arming for the next run must not inherit run one's count.
-    dog.arm([] { return std::string("run two"); });
+    dog.arm([] { return engine::PanicInfo{}; });
     EXPECT_EQ(dog.kicks(), 0u);
     dog.kick();
     EXPECT_EQ(dog.kicks(), 1u);
@@ -70,7 +71,7 @@ TEST(Watchdog, RearmZeroesKickCountAndSwapsTheDump)
 
 TEST(Watchdog, DisarmStopsTheDeadline)
 {
-    engine::Watchdog dog(0.1, [] { return std::string("dump"); });
+    engine::Watchdog dog(0.1, [] { return engine::PanicInfo{}; });
     dog.kick();
     dog.disarm();
     // Starve well past the deadline: a disarmed watchdog stays silent.
@@ -83,10 +84,18 @@ TEST(WatchdogDeath, RearmedWatchdogFiresWithTheNewDump)
     EXPECT_DEATH(
         {
             engine::Watchdog dog(0.05);
-            dog.arm([] { return std::string("first-run dump"); });
+            dog.arm([] {
+                engine::PanicInfo info;
+                info.progress = "first-run dump";
+                return info;
+            });
             dog.kick();
             dog.disarm();
-            dog.arm([] { return std::string("second-run dump"); });
+            dog.arm([] {
+                engine::PanicInfo info;
+                info.progress = "second-run dump";
+                return info;
+            });
             std::this_thread::sleep_for(std::chrono::seconds(5));
         },
         "second-run dump");
@@ -97,11 +106,69 @@ TEST(WatchdogDeath, FiresWithTheDiagnosticDumpWhenStarved)
     EXPECT_DEATH(
         {
             engine::Watchdog dog(0.05, [] {
-                return std::string("per-node progress dump");
+                engine::PanicInfo info;
+                info.progress = "per-node progress dump";
+                return info;
             });
             std::this_thread::sleep_for(std::chrono::seconds(5));
         },
         "per-node progress dump");
+}
+
+TEST(Watchdog, PanicHandlerReceivesStructuredInfoInsteadOfDying)
+{
+    // Supervised shape: the first expiry hands the structured
+    // PanicInfo to the handler; the process survives. Regression for
+    // the old string-only dump, which lost the quantum window and
+    // per-node progress whenever no checkpoint directory (and hence
+    // no panic-image note) was configured.
+    std::promise<engine::PanicInfo> fired;
+    engine::Watchdog dog(0.05);
+    dog.arm(
+        [] {
+            engine::PanicInfo info;
+            info.quantumStart = 17;
+            info.quantumEnd = 42;
+            info.progress = "  node 1: wedged\n";
+            // No note: checkpointing is not configured.
+            return info;
+        },
+        [&fired](const engine::PanicInfo &info) {
+            fired.set_value(info);
+        });
+    auto future = fired.get_future();
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    const engine::PanicInfo info = future.get();
+    dog.disarm();
+    EXPECT_DOUBLE_EQ(info.deadlineSeconds, 0.05);
+    EXPECT_EQ(info.quantaCompleted, 0u);
+    EXPECT_EQ(info.quantumStart, 17u);
+    EXPECT_EQ(info.quantumEnd, 42u);
+    EXPECT_EQ(info.progress, "  node 1: wedged\n");
+    // The formatted dump carries the same context.
+    EXPECT_NE(info.format().find("quantum [17,42)"), std::string::npos);
+    EXPECT_NE(info.format().find("node 1: wedged"), std::string::npos);
+}
+
+TEST(WatchdogDeath, SecondExpiryAfterHandlerStillHardPanics)
+{
+    // A handler that fails to unwedge the run must not convert a
+    // detected hang into a silent one: the next full deadline with no
+    // progress falls through to the classic panic.
+    EXPECT_DEATH(
+        {
+            engine::Watchdog dog(0.05);
+            dog.arm(
+                [] {
+                    engine::PanicInfo info;
+                    info.progress = "still wedged";
+                    return info;
+                },
+                [](const engine::PanicInfo &) { /* does nothing */ });
+            std::this_thread::sleep_for(std::chrono::seconds(5));
+        },
+        "watchdog: no quantum completed.*still wedged");
 }
 
 TEST(Watchdog, ArmedWatchdogDoesNotPerturbAHealthyRun)

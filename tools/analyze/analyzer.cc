@@ -26,6 +26,10 @@ namespace
  * below the checkpoint orchestration that snapshots whole clusters;
  * `engine` and `ckpt` share a layer because images are built from
  * engine state while engines drive the checkpoint lifecycle.
+ * `supervise` sits between the engines it drives and the harness
+ * that must reach engines only through it (the engine-seam lint
+ * rule) — the supervisor owns the run lifecycle, the harness owns
+ * experiment composition.
  * Rationale and diagram: docs/static-analysis.md.
  */
 const std::vector<std::vector<std::string>> kLayers = {
@@ -35,6 +39,7 @@ const std::vector<std::vector<std::string>> kLayers = {
     {"fault", "net", "node", "mpi", "core"},
     {"trace", "workloads"},
     {"engine", "ckpt"},
+    {"supervise"},
     {"harness"},
     {"root"},
 };

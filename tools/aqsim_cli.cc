@@ -13,8 +13,13 @@
  *             [--link-down a-b:FROM:TO[,...]]           # outage windows
  *             [--node-crash n:FROM:TO[,...]]
  *             [--node-pause n:FROM:TO[,...]]
+ *             [--chaos name[:k=v,...][+name...]]  # scenario campaigns
  *             [--reliable] [--retry-timeout T]  # ack + retransmit mode
  *             [--watchdog SECONDS]     # hang detector (0 = off)
+ *             [--supervise]            # self-healing restore/retry
+ *             [--max-restarts N] [--backoff SECONDS]
+ *             [--incident-log FILE.jsonl]
+ *             [--inject-fail a:q[:watchdog][,...]]  # recovery drills
  *             [--phase-stats]          # exchange-phase timings
 
  *             [--checkpoint-every N --checkpoint-dir DIR]
@@ -149,11 +154,65 @@ buildClusterParams(const Args &args, std::size_t nodes,
     }
 
     params.faults = buildFaultParams(args);
+    if (args.has("chaos"))
+        fault::applyChaos(params.faults, args.getString("chaos", ""),
+                          nodes, seed);
     params.mpiParams.reliable = args.getBool("reliable", false);
     if (args.has("retry-timeout"))
         params.mpiParams.retryTimeout =
             core::parseTicks(args.getString("retry-timeout", "50us"));
     return params;
+}
+
+std::uint64_t
+parseCount(const std::string &text, const std::string &spec)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("bad count '%s' in '%s'", text.c_str(), spec.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+supervise::SuperviseOptions
+buildSuperviseOptions(const Args &args)
+{
+    supervise::SuperviseOptions sup;
+    sup.enabled = args.getBool("supervise", false);
+    sup.maxRestarts =
+        static_cast<std::uint64_t>(args.getInt("max-restarts", 5));
+    sup.backoffBaseSeconds = args.getDouble("backoff", 0.25);
+    sup.incidentLogPath = args.getString("incident-log", "");
+
+    // "attempt:quantum[:watchdog]" — fail attempt N after quantum Q,
+    // either as a direct abort or through the watchdog panic path.
+    for (const auto &spec :
+         splitList(args.getString("inject-fail", ""))) {
+        supervise::InjectedFailure f;
+        const auto first = spec.find(':');
+        if (first == std::string::npos)
+            fatal("expected <attempt>:<quantum>[:watchdog], got '%s'",
+                  spec.c_str());
+        const auto second = spec.find(':', first + 1);
+        f.attempt = parseCount(spec.substr(0, first), spec);
+        const auto quantum_end =
+            second == std::string::npos ? spec.size() : second;
+        f.afterQuantum = parseCount(
+            spec.substr(first + 1, quantum_end - first - 1), spec);
+        if (second != std::string::npos) {
+            const std::string kind = spec.substr(second + 1);
+            if (kind == "watchdog")
+                f.watchdog = true;
+            else if (kind != "abort")
+                fatal("unknown inject-fail kind '%s' "
+                      "(abort|watchdog)", kind.c_str());
+        }
+        sup.injectFailures.push_back(f);
+    }
+    if (!sup.enabled &&
+        (!sup.injectFailures.empty() || !sup.incidentLogPath.empty()))
+        fatal("--inject-fail/--incident-log require --supervise");
+    return sup;
 }
 
 /** Run one (policy) configuration and return the result. */
@@ -182,24 +241,34 @@ runOne(const Args &args, workloads::Workload &workload,
     options.checkpointKeepLast =
         static_cast<std::size_t>(args.getInt("checkpoint-keep", 2));
 
-    cluster_storage = std::make_unique<engine::Cluster>(cluster_params,
-                                                        workload);
-    if (cluster_out)
-        *cluster_out = cluster_storage.get();
-    if (trace)
-        trace->attach(cluster_storage->controller());
-
+    supervise::RunRequest request;
     const std::string engine_kind =
         args.getString("engine", "sequential");
-    if (engine_kind == "threaded") {
-        engine::ThreadedEngine engine(options);
-        return engine.run(*cluster_storage, *policy);
-    }
-    if (engine_kind != "sequential")
+    if (engine_kind == "threaded")
+        request.engineKind = supervise::EngineKind::Threaded;
+    else if (engine_kind != "sequential")
         fatal("unknown engine '%s' (sequential|threaded)",
               engine_kind.c_str());
-    engine::SequentialEngine engine(options);
-    return engine.run(*cluster_storage, *policy);
+    request.engine = options;
+    request.cluster = cluster_params;
+    request.workload = &workload;
+    request.policy = policy.get();
+    if (trace)
+        request.onClusterBuilt = [trace](engine::Cluster &cluster) {
+            trace->attach(cluster.controller());
+        };
+
+    supervise::RunSupervisor supervisor(buildSuperviseOptions(args));
+    engine::RunResult result;
+    try {
+        result = supervisor.run(request);
+    } catch (const supervise::SuperviseAbort &abort) {
+        fatal("%s", abort.what());
+    }
+    cluster_storage = supervisor.takeCluster();
+    if (cluster_out)
+        *cluster_out = cluster_storage.get();
+    return result;
 }
 
 } // namespace
@@ -216,7 +285,9 @@ main(int argc, char **argv)
                "jitter-max", "link-down", "node-crash", "node-pause",
                "reliable", "retry-timeout", "watchdog", "phase-stats",
                "checkpoint-every", "checkpoint-dir", "restore",
-               "verify-restore", "checkpoint-keep"});
+               "verify-restore", "checkpoint-keep", "chaos",
+               "supervise", "max-restarts", "backoff", "incident-log",
+               "inject-fail"});
 
     debug::applyEnvironment();
     if (args.has("debug-flags"))

@@ -23,7 +23,15 @@ Checks (each file, line numbers reported):
              ifstream/fstream) under src/ outside src/ckpt/ — all
              persistent simulator state goes through the versioned,
              CRC-guarded ckpt_io layer (docs/checkpoint-restore.md);
-             tools/tests/bench report writers are exempt
+             tools/tests/bench report writers are exempt, as is
+             src/supervise/incident_log.cc (an append-only JSONL
+             diagnostics stream, not simulator state)
+  engine-seam no direct engine use (SequentialEngine/ThreadedEngine)
+             under src/harness/ — the harness reaches an engine only
+             through supervise::RunSupervisor, so every harness run
+             gets the restore/retry/escalate lifecycle and the
+             supervision seam stays the one place engines are driven
+             (docs/supervision.md); mirrors the queue-seam rule
 
 Usage: lint.py [--root DIR] [paths...]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -91,8 +99,13 @@ def findings_for(path: Path, rel: str, text: str):
     posix_rel = rel.replace("\\", "/")
     in_base_random = posix_rel.startswith("src/base/random")
     in_sim_kernel = posix_rel.startswith("src/sim/")
-    state_serialization_banned = (posix_rel.startswith("src/") and
-                                  not posix_rel.startswith("src/ckpt/"))
+    # The incident log is an append-only JSONL diagnostics stream —
+    # recovery telemetry, not simulator state — so it writes directly.
+    state_serialization_banned = (
+        posix_rel.startswith("src/") and
+        not posix_rel.startswith("src/ckpt/") and
+        posix_rel != "src/supervise/incident_log.cc")
+    in_harness = posix_rel.startswith("src/harness/")
 
     # --- guards ---
     if is_header:
@@ -187,6 +200,18 @@ def findings_for(path: Path, rel: str, text: str):
                         "<functional> is banned under src/sim/ "
                         "(the event kernel must not type-erase "
                         "through std::function)")
+
+        # --- engine-seam: the harness drives engines only through the
+        # --- run supervisor ---
+        if in_harness:
+            if re.search(r"\b(SequentialEngine|ThreadedEngine)\b",
+                         code):
+                finding(i, "engine-seam",
+                        "direct engine use is banned under "
+                        "src/harness/ (run through "
+                        "supervise::RunSupervisor so every run gets "
+                        "the recovery lifecycle; see "
+                        "docs/supervision.md)")
 
         # --- persistence: state serialization goes through ckpt_io ---
         if state_serialization_banned:

@@ -95,6 +95,67 @@ class OtherRules(unittest.TestCase):
         self.assertFalse([f for f in found if f[2] == "determinism"])
 
 
+def findings(rel, body, rule):
+    """Findings of one rule for a file body attributed to rel."""
+    found = lint.findings_for(Path(rel), rel, body)
+    return [f for f in found if f[2] == rule]
+
+
+class EngineSeam(unittest.TestCase):
+    """src/harness/ must reach engines only through the supervisor."""
+
+    def test_sequential_engine_flagged_in_harness(self):
+        self.assertTrue(findings(
+            "src/harness/x.cc",
+            "engine::SequentialEngine engine(options);\n",
+            "engine-seam"))
+
+    def test_threaded_engine_flagged_in_harness(self):
+        self.assertTrue(findings(
+            "src/harness/x.cc",
+            "engine::ThreadedEngine engine(options);\n",
+            "engine-seam"))
+
+    def test_comment_and_string_not_flagged(self):
+        body = ('// SequentialEngine in prose\n'
+                'const char *s = "ThreadedEngine";\n')
+        self.assertFalse(findings("src/harness/x.cc", body,
+                                  "engine-seam"))
+
+    def test_supervisor_itself_exempt(self):
+        self.assertTrue(not findings(
+            "src/supervise/run_supervisor.cc",
+            "engine::SequentialEngine engine(options);\n",
+            "engine-seam"))
+
+    def test_identifier_suffix_not_flagged(self):
+        self.assertFalse(findings(
+            "src/harness/x.cc",
+            "MySequentialEngineView v;\n",
+            "engine-seam"))
+
+    def test_fixture_body_fires_when_attributed_to_harness(self):
+        body = (HERE / "fixtures" / "engine_seam_bad.cc").read_text()
+        found = findings("src/harness/bad.cc", body, "engine-seam")
+        self.assertEqual(len(found), 2, found)
+
+
+class PersistenceExemption(unittest.TestCase):
+    """The incident log's JSONL append is diagnostics, not state."""
+
+    def test_incident_log_exempt(self):
+        self.assertFalse(findings(
+            "src/supervise/incident_log.cc",
+            "std::ofstream out(path_, std::ios::app);\n",
+            "persistence"))
+
+    def test_other_supervise_files_still_banned(self):
+        self.assertTrue(findings(
+            "src/supervise/run_supervisor.cc",
+            "std::ofstream out(path);\n",
+            "persistence"))
+
+
 class Fixtures(unittest.TestCase):
     """End-to-end over the fixture files via the CLI."""
 
