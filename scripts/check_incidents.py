@@ -12,6 +12,7 @@ recovery. Schema table: docs/supervision.md.
 
 Usage:
     check_incidents.py LOG [--expect-recovered] [--min-incidents N]
+    check_incidents.py --self-test
 """
 
 from __future__ import annotations
@@ -33,9 +34,21 @@ REQUIRED_FIELDS = {
 OUTCOMES = {"retry", "escalate", "abort", "recovered"}
 
 # Causes the engines can raise today; "none" marks the terminal
-# recovered record. New causes must be added here *and* to the schema
-# table in docs/supervision.md.
-CAUSES = {"watchdog", "panic", "fatal", "injected", "none"}
+# recovered record and "peer-recovery" its distributed-engine variant
+# (the healed failure was a dead/hung worker process). New causes must
+# be added here *and* to the schema table in docs/supervision.md.
+CAUSES = {
+    "watchdog",
+    "panic",
+    "fatal",
+    "injected",
+    "peer-failure",
+    "peer-recovery",
+    "none",
+}
+
+# Causes a terminal recovered record may carry.
+RECOVERED_CAUSES = {"none", "peer-recovery"}
 
 
 def check_record(line_no: int, line: str, errors: list[str]) -> dict | None:
@@ -103,13 +116,147 @@ def check_story(records: list[dict], errors: list[str]) -> None:
         errors.append(
             f"log ends with non-terminal outcome '{last['outcome']}'"
         )
-    if last["outcome"] == "recovered" and last["cause"] != "none":
-        errors.append("recovered record must have cause 'none'")
+    if (
+        last["outcome"] == "recovered"
+        and last["cause"] not in RECOVERED_CAUSES
+    ):
+        errors.append(
+            "recovered record must have cause in "
+            f"{sorted(RECOVERED_CAUSES)}"
+        )
+
+
+def validate_lines(
+    lines: list[str], expect_recovered: bool, min_incidents: int
+) -> tuple[list[dict], list[str]]:
+    """Run every check over pre-split JSONL lines."""
+    errors: list[str] = []
+    records = []
+    for line_no, line in enumerate(lines, start=1):
+        record = check_record(line_no, line, errors)
+        if record is not None:
+            records.append(record)
+
+    if len(records) < min_incidents:
+        errors.append(
+            f"only {len(records)} incident(s), expected at least "
+            f"{min_incidents}"
+        )
+    if records and not errors:
+        check_story(records, errors)
+    if expect_recovered:
+        if not records or records[-1].get("outcome") != "recovered":
+            errors.append("final record is not a recovery")
+    return records, errors
+
+
+def _record(**overrides) -> str:
+    base = {
+        "attempt": 1,
+        "cause": "injected",
+        "quantum": 5,
+        "backoff_s": 0.0,
+        "restore_source": "",
+        "outcome": "retry",
+        "detail": "drill",
+    }
+    base.update(overrides)
+    return json.dumps(base)
+
+
+# (name, lines, expect_recovered, should_pass) — the checker checking
+# itself, so CI notices when schema edits break detection.
+SELF_TEST_CASES = [
+    (
+        "clean recovery story",
+        [
+            _record(),
+            _record(attempt=2, cause="none", outcome="recovered"),
+        ],
+        True,
+        True,
+    ),
+    (
+        "peer failure healed by peer recovery",
+        [
+            _record(
+                cause="peer-failure",
+                detail="peer 1 (pid 42) disconnected",
+            ),
+            _record(
+                attempt=2, cause="peer-recovery", outcome="recovered"
+            ),
+        ],
+        True,
+        True,
+    ),
+    (
+        "unknown cause rejected",
+        [_record(cause="gremlins")],
+        False,
+        False,
+    ),
+    (
+        "recovered with failure cause rejected",
+        [_record(cause="peer-failure", outcome="recovered")],
+        False,
+        False,
+    ),
+    (
+        "non-terminal tail rejected",
+        [_record(), _record(attempt=2)],
+        True,
+        False,
+    ),
+    (
+        "non-ascending attempts rejected",
+        [
+            _record(attempt=2),
+            _record(attempt=1, cause="none", outcome="recovered"),
+        ],
+        False,
+        False,
+    ),
+    (
+        "malformed json rejected",
+        ["{not json"],
+        False,
+        False,
+    ),
+    (
+        "unknown field rejected",
+        [_record()[:-1] + ', "extra": 1}'],
+        False,
+        False,
+    ),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, lines, expect_recovered, should_pass in SELF_TEST_CASES:
+        _, errors = validate_lines(lines, expect_recovered, 1)
+        passed = not errors
+        if passed != should_pass:
+            failures += 1
+            print(f"check_incidents: self-test FAILED: {name}")
+            for error in errors:
+                print(f"    {error}")
+    total = len(SELF_TEST_CASES)
+    print(
+        f"check_incidents: self-test {total - failures}/{total} "
+        "case(s) ok"
+    )
+    return 1 if failures else 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("log", help="incident log (JSONL) to validate")
+    parser.add_argument(
+        "log",
+        nargs="?",
+        help="incident log (JSONL) to validate",
+    )
     parser.add_argument(
         "--expect-recovered",
         action="store_true",
@@ -121,7 +268,17 @@ def main() -> int:
         default=1,
         help="fail if the log holds fewer records (default 1)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="validate the checker against built-in fixtures",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.log is None:
+        parser.error("LOG is required unless --self-test is given")
 
     try:
         with open(args.log, encoding="utf-8") as f:
@@ -130,23 +287,9 @@ def main() -> int:
         print(f"check_incidents: cannot read {args.log}: {exc}")
         return 1
 
-    errors: list[str] = []
-    records = []
-    for line_no, line in enumerate(lines, start=1):
-        record = check_record(line_no, line, errors)
-        if record is not None:
-            records.append(record)
-
-    if len(records) < args.min_incidents:
-        errors.append(
-            f"only {len(records)} incident(s), expected at least "
-            f"{args.min_incidents}"
-        )
-    if records and not errors:
-        check_story(records, errors)
-    if args.expect_recovered:
-        if not records or records[-1].get("outcome") != "recovered":
-            errors.append("final record is not a recovery")
+    records, errors = validate_lines(
+        lines, args.expect_recovered, args.min_incidents
+    )
 
     for error in errors:
         print(f"check_incidents: {error}")

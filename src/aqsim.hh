@@ -58,6 +58,7 @@
 
 // Execution engines
 #include "engine/cluster.hh"
+#include "engine/distributed_engine.hh"
 #include "engine/run_result.hh"
 #include "engine/sequential_engine.hh"
 #include "engine/threaded_engine.hh"
@@ -80,6 +81,13 @@
 // Fault injection and chaos scenarios
 #include "fault/chaos.hh"
 #include "fault/fault_injector.hh"
+#include "fault/peer_drill.hh"
+
+// Inter-process transport (distributed engine substrate)
+#include "transport/channel.hh"
+#include "transport/frame.hh"
+#include "transport/heartbeat.hh"
+#include "transport/socket.hh"
 
 // Self-healing run supervision
 #include "supervise/escalation.hh"

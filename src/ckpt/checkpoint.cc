@@ -15,10 +15,6 @@ const char *const sectionFault = "fault";
 const char *const sectionWorkload = "workload";
 const char *const sectionEngine = "engine";
 
-namespace
-{
-
-/** Chain-hash every state-section body, in order. */
 std::uint64_t
 sectionsHash(const std::vector<Section> &sections)
 {
@@ -27,6 +23,9 @@ sectionsHash(const std::vector<Section> &sections)
         h = fnv1a(s.body.data(), s.body.size(), h);
     return h;
 }
+
+namespace
+{
 
 void
 putFaultWindows(Writer &w, const engine::ClusterParams &params)

@@ -78,6 +78,14 @@ struct CheckpointImage
 };
 
 /**
+ * Chain-hash every state-section body in order — the meta stateHash.
+ * Public so an engine assembling an image from gathered section
+ * bodies (DistributedEngine splices per-peer ranges) produces the
+ * same fingerprint buildImage would.
+ */
+std::uint64_t sectionsHash(const std::vector<Section> &sections);
+
+/**
  * Fingerprint the run configuration: cluster parameters, policy name
  * and workload name. Restoring a checkpoint into a different
  * configuration is rejected up front with this hash.

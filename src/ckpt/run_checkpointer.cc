@@ -81,11 +81,9 @@ RunCheckpointer::begin()
            options_.verifyRestore ? "per-section" : "state-hash");
 }
 
-void
-RunCheckpointer::onQuantumCompleted(
-    const std::vector<std::uint8_t> &engine_state)
+bool
+RunCheckpointer::imageDue(std::uint64_t q) const
 {
-    const std::uint64_t q = sync_.numQuanta();
     const bool verify_due = restoring_ && restoredFrom_ == 0 &&
                             q == golden_.quantumIndex;
     // During replay the quanta up to the golden snapshot would produce
@@ -93,13 +91,32 @@ RunCheckpointer::onQuantumCompleted(
     const bool write_due =
         manager_ && manager_->due(q) &&
         (!restoring_ || q > golden_.quantumIndex);
+    const bool stash_due = options_.stashForPanic && manager_ != nullptr;
+    return verify_due || write_due || stash_due;
+}
+
+void
+RunCheckpointer::onQuantumCompleted(
+    const std::vector<std::uint8_t> &engine_state)
+{
+    if (!imageDue(sync_.numQuanta()))
+        return;
+    onQuantumCompleted(buildImage(cluster_, sync_, configHash_,
+                                  engineName_, engine_state));
+}
+
+void
+RunCheckpointer::onQuantumCompleted(const CheckpointImage &image)
+{
+    const std::uint64_t q = sync_.numQuanta();
+    const bool verify_due = restoring_ && restoredFrom_ == 0 &&
+                            q == golden_.quantumIndex;
+    const bool write_due =
+        manager_ && manager_->due(q) &&
+        (!restoring_ || q > golden_.quantumIndex);
     const bool stash_due = options_.stashForPanic && manager_;
     if (!verify_due && !write_due && !stash_due)
         return;
-
-    const CheckpointImage image =
-        buildImage(cluster_, sync_, configHash_, engineName_,
-                   engine_state);
 
     if (verify_due) {
         CkptError error;

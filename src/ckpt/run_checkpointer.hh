@@ -91,6 +91,22 @@ class RunCheckpointer
     void
     onQuantumCompleted(const std::vector<std::uint8_t> &engine_state);
 
+    /**
+     * Would completing quantum @p q need a full state image (restore
+     * verify, periodic write, or panic stash)? The DistributedEngine
+     * asks before a boundary so it only pays the cross-process state
+     * gather on quanta where an image is actually consumed.
+     */
+    bool imageDue(std::uint64_t q) const;
+
+    /**
+     * Quantum-boundary hook taking a pre-assembled image (the
+     * DistributedEngine coordinator splices one from gathered peer
+     * sections). Same verify/write/stash decisions as the
+     * engine-state overload.
+     */
+    void onQuantumCompleted(const CheckpointImage &image);
+
     /** Fold checkpoint/restore stats into the run result. */
     void finish(engine::RunResult &result) const;
 

@@ -185,6 +185,33 @@ Cluster::serializeWorkload(ckpt::Writer &w) const
         ckpt::putRng(w, ctx->rng());
 }
 
+void
+Cluster::serializeNodeRange(ckpt::Writer &w, NodeId begin,
+                            NodeId end) const
+{
+    AQSIM_ASSERT(begin <= end && end <= nodes_.size());
+    for (NodeId id = begin; id < end; ++id)
+        nodes_[id]->serialize(w);
+}
+
+void
+Cluster::serializeMpiRange(ckpt::Writer &w, NodeId begin,
+                           NodeId end) const
+{
+    AQSIM_ASSERT(begin <= end && end <= endpoints_.size());
+    for (NodeId id = begin; id < end; ++id)
+        endpoints_[id]->serialize(w);
+}
+
+void
+Cluster::serializeWorkloadRange(ckpt::Writer &w, NodeId begin,
+                                NodeId end) const
+{
+    AQSIM_ASSERT(begin <= end && end <= contexts_.size());
+    for (NodeId id = begin; id < end; ++id)
+        ckpt::putRng(w, contexts_[id]->rng());
+}
+
 std::uint64_t
 Cluster::stateHash() const
 {

@@ -111,6 +111,20 @@ class Cluster
     void serializeFault(ckpt::Writer &w) const;
     void serializeWorkload(ckpt::Writer &w) const;
 
+    /**
+     * Partition-range serialization (DistributedEngine state gather):
+     * the body bytes of nodes [begin, end) for each per-node section,
+     * *without* the count prefix — the coordinator splices the peers'
+     * ranges back together in node order under one u32(numNodes)
+     * prefix, reproducing the whole-cluster encodings byte for byte.
+     */
+    void serializeNodeRange(ckpt::Writer &w, NodeId begin,
+                            NodeId end) const;
+    void serializeMpiRange(ckpt::Writer &w, NodeId begin,
+                           NodeId end) const;
+    void serializeWorkloadRange(ckpt::Writer &w, NodeId begin,
+                                NodeId end) const;
+
     /** FNV-1a fingerprint over every serialized section. */
     std::uint64_t stateHash() const;
 

@@ -175,6 +175,40 @@ DeliveryBatch::mergeInto(Cluster &cluster)
     return merged;
 }
 
+std::vector<net::PacketPtr>
+DeliveryBatch::takeRun(std::size_t s, std::size_t d)
+{
+    AQSIM_ASSERT(rows_[s].sorted);
+    SubRun &sub = subRun(s, d);
+    std::vector<net::PacketPtr> items;
+    items.reserve(sub.keys.size());
+    for (const sim::RunKey &key : sub.keys) {
+        Staged &staged = rows_[s].payload[key.idx];
+        AQSIM_ASSERT(staged.pkt && key.when == staged.pkt->idealArrival);
+        items.push_back(std::move(staged.pkt));
+    }
+    // The column is consumed locally; the receiving process merges it.
+    sub.keys.clear();
+    return items;
+}
+
+void
+DeliveryBatch::injectRun(std::size_t s, std::size_t d,
+                         std::vector<net::PacketPtr> items)
+{
+    Row &row = rows_[s];
+    AQSIM_ASSERT(!row.sorted);
+    SubRun &sub = subRun(s, d);
+    for (net::PacketPtr &pkt : items) {
+        AQSIM_ASSERT(shardOf(pkt->src) == s && shardOf(pkt->dst) == d);
+        sub.keys.push_back(sim::RunKey{
+            pkt->idealArrival, pkt->departTick, pkt->src,
+            static_cast<std::uint32_t>(row.payload.size())});
+        row.payload.push_back(
+            Staged{std::move(pkt), net::DeliveryKind::OnTime});
+    }
+}
+
 std::size_t
 DeliveryBatch::pending() const
 {

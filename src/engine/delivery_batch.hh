@@ -141,6 +141,28 @@ class DeliveryBatch
      */
     std::size_t mergeInto(Cluster &cluster);
 
+    /**
+     * Distributed-exchange seam: extract sub-run (s, d) as an ordered
+     * packet sequence for shipping to another process. The sub-run
+     * must be closed (sorted); the keys are dropped — each packet's
+     * own (idealArrival, departTick, src) fields reconstruct them
+     * exactly on the receiving side, so the wire carries no key
+     * material. Conservative runs only (every staged delivery is
+     * OnTime at its ideal arrival; DistributedEngine enforces this).
+     */
+    std::vector<net::PacketPtr> takeRun(std::size_t s, std::size_t d);
+
+    /**
+     * Distributed-exchange seam: adopt a remote peer's sub-run
+     * (s, d) — packets in canonical (when, src, departTick) order as
+     * produced by takeRun — into this batch, re-deriving each key
+     * from the packet fields. Does not count toward totalStaged()
+     * (the staging peer already did); call closeRun(s) afterwards so
+     * mergeShard sees the row as sorted.
+     */
+    void injectRun(std::size_t s, std::size_t d,
+                   std::vector<net::PacketPtr> items);
+
     /** Deliveries staged but not yet merged (0 at every boundary). */
     std::size_t pending() const;
 

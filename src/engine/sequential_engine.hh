@@ -142,6 +142,32 @@ struct EngineOptions
      * recovery machinery is rehearsed end to end.
      */
     bool injectWatchdogPanic = false;
+
+    /**
+     * DistributedEngine only: how long the coordinator waits on any
+     * one peer frame before declaring the peer failed (and how long a
+     * peer waits on the coordinator, doubled so healthy peers outlive
+     * coordinator-side detection). Every distributed barrier wait is
+     * bounded by this deadline — a dead, hung, or half-open peer
+     * becomes a structured PeerFailure, never a stuck barrier.
+     */
+    double peerDeadlineSeconds = 30.0;
+    /**
+     * DistributedEngine only: peer heartbeat period in host seconds.
+     * Heartbeats keep a *slow* peer (long quantum, big state gather)
+     * distinguishable from a *hung* one without inflating the
+     * failure-detection latency.
+     */
+    double heartbeatSeconds = 0.2;
+    /**
+     * DistributedEngine only: peer fault drill spec, e.g.
+     * "kill:peer=1,quantum=3,phase=exchange" (see
+     * fault::parsePeerDrills). Drills fire inside the named worker
+     * process at an exact, reproducible protocol point; the
+     * supervisor clears the spec on respawn so the recovery attempt
+     * runs clean.
+     */
+    std::string peerDrillSpec;
 };
 
 /** Deterministic host-time co-simulating engine. */

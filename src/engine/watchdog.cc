@@ -17,6 +17,7 @@ PanicInfo::format() const
                   static_cast<unsigned long long>(quantumEnd));
     std::string out(head);
     out += progress;
+    out += peers;
     out += note;
     return out;
 }

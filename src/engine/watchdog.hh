@@ -56,6 +56,13 @@ struct PanicInfo
     Tick quantumEnd = 0;
     /** Per-node progress dump (engine::Cluster::progressReport()). */
     std::string progress;
+    /**
+     * Per-peer liveness when running distributed (one line per worker
+     * process: pid, barrier phase, last-heartbeat age), so a hung-peer
+     * panic names the peer instead of just the quantum. Empty for
+     * single-process engines.
+     */
+    std::string peers;
     /** Optional annotations (e.g. panic-image path from the ckpt layer). */
     std::string note;
 

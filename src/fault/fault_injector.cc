@@ -212,6 +212,16 @@ FaultInjector::deserialize(ckpt::Reader &r)
     totalDelayed_ = r.u64();
 }
 
+void
+FaultInjector::serializeLinkRange(ckpt::Writer &w, NodeId begin,
+                                  NodeId end) const
+{
+    AQSIM_ASSERT(begin <= end && end <= numNodes_);
+    for (std::size_t l = linkIndex(begin, 0); l < linkIndex(end, 0);
+         ++l)
+        ckpt::putRng(w, linkRng_[l]);
+}
+
 std::uint64_t
 FaultInjector::stateHash() const
 {

@@ -153,6 +153,18 @@ class FaultInjector
     /** Restore state persisted by serialize(). */
     void deserialize(ckpt::Reader &r);
 
+    /**
+     * Partition-range serialization (DistributedEngine state gather):
+     * the stream states of every directed link whose *source* lies in
+     * [begin, end) — a contiguous slice of the flat link array, since
+     * linkIndex is source-major. Only the source peer ever draws from
+     * these streams, so splicing the peers' slices in node order
+     * reproduces the whole-injector stream section byte for byte; the
+     * four counters are shipped separately and summed.
+     */
+    void serializeLinkRange(ckpt::Writer &w, NodeId begin,
+                            NodeId end) const;
+
     /** FNV-1a fingerprint of serialize() output. */
     std::uint64_t stateHash() const;
 

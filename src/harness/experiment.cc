@@ -69,12 +69,13 @@ runExperiment(const ExperimentConfig &config)
 
     ExperimentOutput out;
     supervise::RunRequest request;
-    request.engineKind = supervise::EngineKind::Sequential;
+    request.engineKind = config.engineKind;
     request.engine = options;
     request.cluster = cluster_params;
     request.workload = workload.get();
     request.policy = policy.get();
-    if (config.recordTrace)
+    if (config.recordTrace &&
+        config.engineKind != supervise::EngineKind::Distributed)
         request.onClusterBuilt = [&out](engine::Cluster &cluster) {
             out.trace.attach(cluster.controller());
         };

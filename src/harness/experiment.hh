@@ -68,6 +68,11 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     bool recordTimeline = false;
     bool recordTrace = false;
+    /** Engine selection (sequential, threaded, or the multi-process
+     * distributed engine). Distributed runs ignore recordTrace: the
+     * controller executing packets lives in the worker processes. */
+    supervise::EngineKind engineKind =
+        supervise::EngineKind::Sequential;
     engine::EngineOptions engine;
     /**
      * Self-healing supervision (off by default: one plain engine
@@ -86,7 +91,7 @@ struct ExperimentOutput
 };
 
 /**
- * Execute one experiment on the sequential engine, routed through the
+ * Execute one experiment on the selected engine, routed through the
  * run supervisor (the harness's only path to an engine; a disabled
  * supervisor degenerates to one plain run).
  */

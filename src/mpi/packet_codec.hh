@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wire codec for net::Packet (distributed-engine exchange frames).
+ *
+ * Cross-partition deliveries travel between worker processes as
+ * ordered packet runs inside Exchange/Deliver frames. This codec
+ * round-trips every field the simulation reads — timing, identity,
+ * corruption flag, and the polymorphic mpi payload — through the
+ * ckpt::Writer/Reader encoding, so a decoded packet is functionally
+ * indistinguishable from the original: reassembly, rendezvous
+ * control, checksum verification, and the merge keys
+ * (idealArrival, departTick, src) all behave bit-identically.
+ *
+ * Payload objects are duplicated by value across the wire (the
+ * in-process shared_ptr aliasing is an optimization, not semantics:
+ * receivers read payload fields, never pointer identity).
+ */
+
+#ifndef AQSIM_MPI_PACKET_CODEC_HH
+#define AQSIM_MPI_PACKET_CODEC_HH
+
+#include "ckpt/ckpt_io.hh"
+#include "net/packet.hh"
+
+namespace aqsim::mpi
+{
+
+/** Serialize one packet (all fields + payload) into @p w. */
+void putPacket(ckpt::Writer &w, const net::Packet &pkt);
+
+/**
+ * Decode one packet written with putPacket(). On malformed input the
+ * reader latches its error and the result is null.
+ */
+net::PacketPtr getPacket(ckpt::Reader &r);
+
+} // namespace aqsim::mpi
+
+#endif // AQSIM_MPI_PACKET_CODEC_HH

@@ -207,6 +207,39 @@ NetworkController::deliverOne(const PacketPtr &pkt, Tick extra_delay,
         observer(*pkt, actual);
 }
 
+NetworkController::RemoteDeltas
+NetworkController::snapshotCounters() const
+{
+    base::MutexLock lock(injectMutex_);
+    RemoteDeltas s;
+    s.idsAssigned = nextPacketId_;
+    s.packetsThisQuantum = packetsThisQuantum_;
+    s.totalPackets = totalPackets_;
+    s.totalStragglers = totalStragglers_;
+    s.totalNextQuantum = totalNextQuantum_;
+    s.totalLatenessTicks = totalLatenessTicks_;
+    s.totalDropped = totalDropped_;
+    s.bytes = static_cast<std::uint64_t>(statBytes_.value());
+    return s;
+}
+
+void
+NetworkController::absorbRemoteDeltas(const RemoteDeltas &d)
+{
+    base::MutexLock lock(injectMutex_);
+    nextPacketId_ += d.idsAssigned;
+    packetsThisQuantum_ += d.packetsThisQuantum;
+    totalPackets_ += d.totalPackets;
+    totalStragglers_ += d.totalStragglers;
+    totalNextQuantum_ += d.totalNextQuantum;
+    totalLatenessTicks_ += d.totalLatenessTicks;
+    totalDropped_ += d.totalDropped;
+    statPackets_ += static_cast<double>(d.totalPackets);
+    statBytes_ += static_cast<double>(d.bytes);
+    statStragglers_ += static_cast<double>(d.totalStragglers);
+    statNextQuantum_ += static_cast<double>(d.totalNextQuantum);
+}
+
 void
 NetworkController::reset()
 {

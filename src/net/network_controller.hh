@@ -220,6 +220,40 @@ class NetworkController
     std::size_t numNodes() const { return numNodes_; }
     const NicParams &nicParams() const { return params_.nic; }
 
+    /**
+     * Cross-process counter aggregation (DistributedEngine): one
+     * peer's counter values, snapshotted at a quantum edge. A peer
+     * subtracts two snapshots to get its per-quantum advance and
+     * ships that with its exchange; the coordinator absorbs it into
+     * its replica controller so the adaptive policy and checkpoint
+     * images see the global counts. idsAssigned tracks nextPacketId_
+     * (the *count* of ids a peer assigned is order-independent even
+     * though the ids themselves are not). Straggler fields are zero
+     * in any conservative run but carried so the mapping is total.
+     */
+    struct RemoteDeltas
+    {
+        std::uint64_t idsAssigned = 0;
+        std::uint64_t packetsThisQuantum = 0;
+        std::uint64_t totalPackets = 0;
+        std::uint64_t totalStragglers = 0;
+        std::uint64_t totalNextQuantum = 0;
+        std::uint64_t totalLatenessTicks = 0;
+        std::uint64_t totalDropped = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Snapshot every RemoteDeltas counter at its current value. */
+    RemoteDeltas snapshotCounters() const AQSIM_EXCLUDES(injectMutex_);
+
+    /**
+     * Absorb one peer's per-quantum counter advance (counters and the
+     * scalar stats; statLateness_ is a distribution and cannot absorb
+     * an aggregate — conservative runs never sample it).
+     */
+    void absorbRemoteDeltas(const RemoteDeltas &d)
+        AQSIM_EXCLUDES(injectMutex_);
+
     /** Reset all per-run state (switch ports, counters). */
     void reset() AQSIM_EXCLUDES(injectMutex_);
 

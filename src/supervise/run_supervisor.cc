@@ -8,6 +8,7 @@
 
 #include "base/logging.hh"
 #include "ckpt/manager.hh"
+#include "engine/distributed_engine.hh"
 #include "engine/threaded_engine.hh"
 #include "net/network_controller.hh"
 #include "stats/stats.hh"
@@ -79,6 +80,19 @@ RunSupervisor::runAttempt(const RunRequest &request,
                           engine::EngineOptions options,
                           core::QuantumPolicy &policy, bool arm_trap)
 {
+    if (request.engineKind == EngineKind::Distributed) {
+        // The worker processes fork their own pristine clusters from
+        // the parameters and the engine keeps a coordinator replica,
+        // so there is no in-process cluster to build or expose — and
+        // a stale one would alias the workload binding.
+        cluster_.reset();
+        std::optional<base::FailureTrap> trap;
+        if (arm_trap)
+            trap.emplace();
+        engine::DistributedEngine engine(options);
+        return engine.run(request.cluster, *request.workload, policy);
+    }
+
     // A fresh cluster per attempt: a failed run's half-mutated state
     // is never reused; recovery state comes only from the checkpoint
     // replay (or from quantum zero).
@@ -114,6 +128,7 @@ RunSupervisor::run(const RunRequest &request)
                           /*arm_trap=*/false);
 
     const std::uint64_t max_attempts = options_.maxRestarts + 1;
+    std::string last_fail_cause;
     std::uint64_t last_fail_quantum = ~std::uint64_t{0};
     std::uint64_t same_quantum_failures = 0;
     std::uint64_t escalations = 0;
@@ -145,6 +160,10 @@ RunSupervisor::run(const RunRequest &request)
                 options.injectWatchdogPanic = f.watchdog;
             }
         }
+        // Peer drills describe the *first* attempt's failure; a
+        // respawned fleet must run clean or recovery would livelock.
+        if (attempt > 1)
+            options.peerDrillSpec.clear();
 
         std::string restore_source;
         std::unique_ptr<core::QuantumPolicy> guard;
@@ -156,10 +175,21 @@ RunSupervisor::run(const RunRequest &request)
             options.restorePath.clear();
             options.checkpointEvery = 0;
             options.checkpointDir.clear();
-            guard = std::make_unique<ConservativeWindowPolicy>(
-                request.policy->clone(),
-                safeQuantumBound(request.cluster), escalate_at,
-                options_.escalationWindowQuanta);
+            if (request.engineKind == EngineKind::Distributed) {
+                // The distributed engine refuses any policy that is
+                // not conservative for the whole run, and the window
+                // policy is only clamped inside its window. A plain
+                // fixed quantum at the safe bound is the distributed
+                // escalation: final state is quantum-length
+                // independent, so the result is unchanged.
+                guard = std::make_unique<core::FixedQuantumPolicy>(
+                    safeQuantumBound(request.cluster));
+            } else {
+                guard = std::make_unique<ConservativeWindowPolicy>(
+                    request.policy->clone(),
+                    safeQuantumBound(request.cluster), escalate_at,
+                    options_.escalationWindowQuanta);
+            }
             policy = guard.get();
         } else if (attempt > 1 && !options.checkpointDir.empty()) {
             // Probe before committing to a restore: a crash before
@@ -181,7 +211,12 @@ RunSupervisor::run(const RunRequest &request)
             if (attempt > 1) {
                 Incident incident;
                 incident.attempt = attempt;
-                incident.cause = "none";
+                // A recovery that healed a dead/hung worker fleet is
+                // its own incident kind so fleet dashboards can count
+                // peer churn separately from in-process recoveries.
+                incident.cause = last_fail_cause == "peer-failure"
+                                     ? "peer-recovery"
+                                     : "none";
                 incident.quantum = result.quanta;
                 incident.restoreSource = restore_source;
                 incident.outcome = "recovered";
@@ -196,6 +231,7 @@ RunSupervisor::run(const RunRequest &request)
             result.superviseEscalations = escalations;
             return result;
         } catch (const base::RunAbort &abort) {
+            last_fail_cause = abort.cause();
             if (abort.quantum() == last_fail_quantum) {
                 ++same_quantum_failures;
             } else {

@@ -54,6 +54,9 @@ enum class EngineKind
 {
     Sequential,
     Threaded,
+    /** Multi-process (engine/distributed_engine.hh): attempts fork
+     * fresh worker processes; peer failures are recoverable. */
+    Distributed,
 };
 
 /**
@@ -142,7 +145,9 @@ class RunSupervisor
     /** Structured dump from the most recent watchdog panic. */
     engine::PanicInfo lastPanic() const;
 
-    /** Cluster of the most recent attempt (stats/trace readout). */
+    /** Cluster of the most recent attempt (stats/trace readout).
+     * Null for distributed runs: the state lives in the forked
+     * worker processes, not in any in-process cluster. */
     engine::Cluster *cluster() { return cluster_.get(); }
     std::unique_ptr<engine::Cluster> takeCluster()
     {

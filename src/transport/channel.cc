@@ -1,0 +1,99 @@
+#include "transport/channel.hh"
+
+#include <chrono>
+#include <deque>
+
+#include "base/mutex.hh"
+
+namespace aqsim::transport
+{
+
+namespace
+{
+
+/**
+ * Shared state of one loopback pair: two frame queues (one per
+ * direction) under a single mutex. Endpoint A sends into queue 0 and
+ * receives from queue 1; endpoint B the reverse.
+ */
+struct LoopbackCore
+{
+    base::Mutex mutex;
+    base::CondVar cv;
+    std::deque<Frame> queues[2] AQSIM_GUARDED_BY(mutex);
+    bool closed AQSIM_GUARDED_BY(mutex) = false;
+};
+
+class LoopbackChannel : public Channel
+{
+  public:
+    LoopbackChannel(std::shared_ptr<LoopbackCore> core, int send_queue)
+        : core_(std::move(core)), sendQueue_(send_queue)
+    {}
+
+    ~LoopbackChannel() override { close(); }
+
+    bool
+    send(const Frame &frame) override
+    {
+        {
+            base::MutexLock lock(core_->mutex);
+            if (core_->closed)
+                return false;
+            core_->queues[sendQueue_].push_back(frame);
+        }
+        core_->cv.notify_all();
+        return true;
+    }
+
+    RecvStatus
+    recv(Frame &frame, double deadline_seconds) override
+    {
+        const auto deadline =
+            std::chrono::duration<double>(deadline_seconds);
+        std::deque<Frame> &queue = core_->queues[1 - sendQueue_];
+        base::MutexLock lock(core_->mutex);
+        const bool ready = core_->cv.waitFor(
+            core_->mutex, deadline,
+            [&]() AQSIM_REQUIRES(core_->mutex) {
+                return core_->closed || !queue.empty();
+            });
+        // Drain queued frames even after close: a Stop sent just
+        // before teardown must still be readable, like socket EOF
+        // semantics where buffered bytes survive the close.
+        if (!queue.empty()) {
+            frame = std::move(queue.front());
+            queue.pop_front();
+            return RecvStatus::Ok;
+        }
+        if (core_->closed)
+            return RecvStatus::Closed;
+        return ready ? RecvStatus::Closed : RecvStatus::Timeout;
+    }
+
+    void
+    close() override
+    {
+        {
+            base::MutexLock lock(core_->mutex);
+            core_->closed = true;
+        }
+        core_->cv.notify_all();
+    }
+
+  private:
+    std::shared_ptr<LoopbackCore> core_;
+    const int sendQueue_;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+loopbackChannelPair()
+{
+    auto core = std::make_shared<LoopbackCore>();
+    return {std::make_unique<LoopbackChannel>(core, 0),
+            std::make_unique<LoopbackChannel>(core, 1)};
+}
+
+} // namespace aqsim::transport

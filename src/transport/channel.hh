@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Transport seam for the distributed engine.
+ *
+ * A Channel is one bidirectional, ordered, reliable frame pipe between
+ * the coordinator and a single worker. The DistributedEngine speaks
+ * only this interface, so the barrier protocol is testable against the
+ * in-process loopback backend (deterministic, no kernel involvement)
+ * and deployed over the socket backend (socket.hh) without a line of
+ * engine code changing — the same seam discipline GHEX-style
+ * communicators use to swap fabrics under a fixed protocol layer.
+ *
+ * Every receive is deadline-bounded by construction: there is no
+ * blocking recv in the interface. That single property is what turns
+ * a crashed, hung, or half-open peer into a structured RecvStatus the
+ * caller can convert into a PeerFailure, instead of a stuck barrier.
+ *
+ * Thread safety: send() and recv() are each internally serialized, so
+ * one thread may send (e.g. a heartbeat thread) while another
+ * receives. Multiple concurrent receivers are not supported.
+ */
+
+#ifndef AQSIM_TRANSPORT_CHANNEL_HH
+#define AQSIM_TRANSPORT_CHANNEL_HH
+
+#include <memory>
+#include <utility>
+
+#include "transport/frame.hh"
+
+namespace aqsim::transport
+{
+
+/** One reliable, ordered frame pipe between two endpoints. */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /**
+     * Enqueue @p frame toward the peer.
+     *
+     * @return false if the pipe is closed (peer gone); the caller maps
+     *         this to a Disconnect-kind peer failure.
+     */
+    virtual bool send(const Frame &frame) = 0;
+
+    /**
+     * Wait up to @p deadline_seconds for one complete frame.
+     *
+     * Never blocks past the deadline: a silent peer yields Timeout, a
+     * closed pipe yields Closed, and damaged bytes yield Corrupt.
+     */
+    virtual RecvStatus recv(Frame &frame, double deadline_seconds) = 0;
+
+    /**
+     * Close both directions. Idempotent; a blocked recv() on either
+     * end completes promptly with Closed.
+     */
+    virtual void close() = 0;
+};
+
+/**
+ * Build a connected in-process pair: frames sent on one endpoint are
+ * received on the other, in order, with no encoding round-trip.
+ * Backs single-process protocol tests and doubles as the reference
+ * semantics for the socket backend.
+ */
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+loopbackChannelPair();
+
+} // namespace aqsim::transport
+
+#endif // AQSIM_TRANSPORT_CHANNEL_HH

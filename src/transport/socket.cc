@@ -1,0 +1,230 @@
+#include "transport/socket.hh"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace aqsim::transport
+{
+
+namespace
+{
+
+/** Poll slice: every blocking wait re-checks its deadline this often. */
+constexpr int pollSliceMs = 100;
+
+int
+remainingMs(std::chrono::steady_clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0)
+        return 0;
+    return static_cast<int>(
+        std::min<long long>(left.count(), pollSliceMs));
+}
+
+} // namespace
+
+SocketChannel::SocketChannel(int fd) : fd_(fd)
+{
+    AQSIM_ASSERT(fd >= 0);
+}
+
+SocketChannel::~SocketChannel()
+{
+    ::close(fd_);
+}
+
+bool
+SocketChannel::send(const Frame &frame)
+{
+    const std::vector<std::uint8_t> wire = encodeFrame(frame);
+    base::MutexLock lock(sendMutex_);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n = ::send(fd_, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // EPIPE/ECONNRESET: peer is gone. The caller maps this
+            // to a structured disconnect failure.
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+RecvStatus
+SocketChannel::readFully(std::uint8_t *data, std::size_t size,
+                         std::chrono::steady_clock::time_point deadline)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ms = remainingMs(deadline);
+        if (ms == 0 &&
+            std::chrono::steady_clock::now() >= deadline)
+            return RecvStatus::Timeout;
+        const int pr = ::poll(&pfd, 1, ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::Closed;
+        }
+        if (pr == 0)
+            continue; // slice elapsed; loop re-checks the deadline
+        const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+        if (n == 0)
+            return RecvStatus::Closed; // orderly EOF (peer dead)
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return RecvStatus::Closed; // ECONNRESET and friends
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return RecvStatus::Ok;
+}
+
+RecvStatus
+SocketChannel::recv(Frame &frame, double deadline_seconds)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+
+    std::uint8_t header[frameHeaderBytes];
+    RecvStatus status = readFully(header, sizeof(header), deadline);
+    if (status != RecvStatus::Ok)
+        return status;
+
+    std::uint32_t body_len = 0, type = 0, body_crc = 0;
+    std::memcpy(&body_len, header, 4);
+    std::memcpy(&type, header + 4, 4);
+    std::memcpy(&body_crc, header + 8, 4);
+    if (body_len > maxFrameBody)
+        return RecvStatus::Corrupt;
+
+    std::vector<std::uint8_t> body(body_len);
+    if (body_len > 0) {
+        status = readFully(body.data(), body.size(), deadline);
+        if (status != RecvStatus::Ok)
+            return status;
+    }
+    return decodeFrame(body_len, type, body_crc, std::move(body), frame);
+}
+
+void
+SocketChannel::close()
+{
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::pair<std::unique_ptr<SocketChannel>, std::unique_ptr<SocketChannel>>
+socketChannelPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        fatal("socketpair failed: %s", std::strerror(errno));
+    return {std::make_unique<SocketChannel>(fds[0]),
+            std::make_unique<SocketChannel>(fds[1])};
+}
+
+int
+tcpListen(std::uint16_t port, std::uint16_t &bound_port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket failed: %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("bind failed: %s", std::strerror(errno));
+    if (::listen(fd, 8) != 0)
+        fatal("listen failed: %s", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("getsockname failed: %s", std::strerror(errno));
+    bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+int
+tcpConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+tcpAccept(int listen_fd, double deadline_seconds)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+    for (;;) {
+        struct pollfd pfd;
+        pfd.fd = listen_fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ms = remainingMs(deadline);
+        if (ms == 0 && std::chrono::steady_clock::now() >= deadline)
+            return -1;
+        const int pr = ::poll(&pfd, 1, ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (pr == 0)
+            continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+} // namespace aqsim::transport

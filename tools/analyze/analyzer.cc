@@ -36,7 +36,7 @@ const std::vector<std::vector<std::string>> kLayers = {
     {"base"},
     {"check", "stats"},
     {"ckpt_io", "sim"},
-    {"fault", "net", "node", "mpi", "core"},
+    {"fault", "net", "node", "mpi", "core", "transport"},
     {"trace", "workloads"},
     {"engine", "ckpt"},
     {"supervise"},

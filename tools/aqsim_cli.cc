@@ -5,7 +5,7 @@
  *
  *   aqsim_cli --workload nas.is --nodes 8 --policy dyn:1.03:0.02 \
  *             [--class A | --scale S] [--seed N]
- *             [--engine sequential|threaded] [--workers K]
+ *             [--engine sequential|threaded|distributed] [--workers K]
  *             [--topology star|ring|mesh|torus|tree] [--hop-latency T]
  *             [--sampling F] [--noise SIGMA]
  *             [--drop P] [--duplicate P] [--corrupt P]  # fault rates
@@ -20,6 +20,8 @@
  *             [--max-restarts N] [--backoff SECONDS]
  *             [--incident-log FILE.jsonl]
  *             [--inject-fail a:q[:watchdog][,...]]  # recovery drills
+ *             [--peer-deadline SECONDS] [--heartbeat SECONDS]
+ *             [--peer-drill op:peer=P[,quantum=Q][,phase=...][;...]]
  *             [--phase-stats]          # exchange-phase timings
 
  *             [--checkpoint-every N --checkpoint-dir DIR]
@@ -240,20 +242,30 @@ runOne(const Args &args, workloads::Workload &workload,
     options.verifyRestore = args.getBool("verify-restore", false);
     options.checkpointKeepLast =
         static_cast<std::size_t>(args.getInt("checkpoint-keep", 2));
+    options.peerDeadlineSeconds =
+        args.getDouble("peer-deadline", options.peerDeadlineSeconds);
+    options.heartbeatSeconds =
+        args.getDouble("heartbeat", options.heartbeatSeconds);
+    options.peerDrillSpec = args.getString("peer-drill", "");
 
     supervise::RunRequest request;
     const std::string engine_kind =
         args.getString("engine", "sequential");
     if (engine_kind == "threaded")
         request.engineKind = supervise::EngineKind::Threaded;
+    else if (engine_kind == "distributed")
+        request.engineKind = supervise::EngineKind::Distributed;
     else if (engine_kind != "sequential")
-        fatal("unknown engine '%s' (sequential|threaded)",
+        fatal("unknown engine '%s' (sequential|threaded|distributed)",
               engine_kind.c_str());
+    if (!options.peerDrillSpec.empty() &&
+        request.engineKind != supervise::EngineKind::Distributed)
+        fatal("--peer-drill requires --engine distributed");
     request.engine = options;
     request.cluster = cluster_params;
     request.workload = &workload;
     request.policy = policy.get();
-    if (trace)
+    if (trace && request.engineKind != supervise::EngineKind::Distributed)
         request.onClusterBuilt = [trace](engine::Cluster &cluster) {
             trace->attach(cluster.controller());
         };
@@ -287,7 +299,8 @@ main(int argc, char **argv)
                "checkpoint-every", "checkpoint-dir", "restore",
                "verify-restore", "checkpoint-keep", "chaos",
                "supervise", "max-restarts", "backoff", "incident-log",
-               "inject-fail"});
+               "inject-fail", "peer-deadline", "heartbeat",
+               "peer-drill"});
 
     debug::applyEnvironment();
     if (args.has("debug-flags"))
@@ -395,9 +408,11 @@ main(int argc, char **argv)
                     engine::simTimeRatio(result, gt));
     }
 
-    if (args.getBool("stats", false))
+    // Distributed runs leave no in-process cluster behind (the stats
+    // trees live and die in the worker processes).
+    if (args.getBool("stats", false) && cluster_ptr)
         stats::dumpText(cluster_ptr->statsRoot(), std::cout);
-    if (args.getBool("stats-csv", false))
+    if (args.getBool("stats-csv", false) && cluster_ptr)
         stats::dumpCsv(cluster_ptr->statsRoot(), std::cout);
 
     const std::string timeline_path = args.getString("timeline", "");
